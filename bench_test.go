@@ -1,0 +1,453 @@
+// Package hybridmr_test holds the benchmark harness that regenerates every
+// table and figure of the paper (run with `go test -bench=. -benchmem`).
+// Each BenchmarkFigN measures the cost of rebuilding that figure's data
+// from the models; BenchmarkEngine* exercise the real execution engine; the
+// BenchmarkAblation* series quantify the design choices DESIGN.md calls out
+// (RAM disk, heap size, replication factor, scheduler policy, load
+// balancing).
+package hybridmr_test
+
+import (
+	"testing"
+	"time"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/cluster"
+	"hybridmr/internal/core"
+	"hybridmr/internal/corpus"
+	"hybridmr/internal/engine"
+	"hybridmr/internal/figures"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/netmodel"
+	"hybridmr/internal/storage/hdfs"
+	"hybridmr/internal/units"
+	"hybridmr/internal/workload"
+)
+
+func cal() mapreduce.Calibration { return mapreduce.DefaultCalibration() }
+
+func traceConfig(jobs int) workload.Config {
+	cfg := workload.DefaultConfig()
+	cfg.Jobs = jobs
+	cfg.Duration = time.Duration(float64(24*time.Hour) * float64(jobs) / 6000)
+	return cfg
+}
+
+// BenchmarkTableI regenerates Table I (the architecture matrix).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if figures.TableI().Render() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (trace input-size CDF, 6000 jobs).
+func BenchmarkFig3(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 (conceptual cross-point sketch).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig4(cal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (Wordcount on four architectures).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig5(cal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (Grep on four architectures).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig6(cal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (Wordcount/Grep cross points).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig7(cal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (TestDFSIO cross point).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig8(cal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (TestDFSIO write on four
+// architectures).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig9(cal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: the full 6000-job Facebook trace on
+// the hybrid and both baselines.
+func BenchmarkFig10(b *testing.B) {
+	cfg := traceConfig(6000)
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig10(cal(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureCrossPoints runs the §IV methodology (the sweep other
+// deployments would rerun on their own hardware).
+func BenchmarkMeasureCrossPoints(b *testing.B) {
+	up := mapreduce.MustArch(mapreduce.UpOFS, cal())
+	out := mapreduce.MustArch(mapreduce.OutOFS, cal())
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MeasureCrossPoints(up, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw event-simulator speed: jobs per
+// second through the out-OFS cluster under Fair scheduling.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := traceConfig(1000)
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := mapreduce.MustArch(mapreduce.OutOFS, cal())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := mapreduce.NewSimulator(p)
+		sim.SetPolicy(mapreduce.Fair)
+		for _, j := range jobs {
+			sim.Submit(j.MapReduceJob())
+		}
+		sim.Run()
+	}
+}
+
+// --- Execution-engine benchmarks (real map/shuffle/reduce over bytes) ---
+
+func corpusBytes(b *testing.B, size units.Bytes) []byte {
+	b.Helper()
+	data, err := corpus.Generate(corpus.DefaultConfig(), size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+// BenchmarkEngineWordcount runs the real Wordcount over 1 MB of Zipf text.
+func BenchmarkEngineWordcount(b *testing.B) {
+	data := corpusBytes(b, units.MB)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store, err := engine.NewMemOFS(32, 128*units.KB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Create("in", data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.Run(engine.NewWordcount(store, "in", "", 4, 8, 4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineGrep runs the real Grep over 1 MB of Zipf text.
+func BenchmarkEngineGrep(b *testing.B) {
+	data := corpusBytes(b, units.MB)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store, err := engine.NewMemOFS(32, 128*units.KB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Create("in", data); err != nil {
+			b.Fatal(err)
+		}
+		cfg, err := engine.NewGrep(store, "in", "", "w0000", 4, 8, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineDFSIOWrite runs the real write test: 16 files × 64 KB.
+func BenchmarkEngineDFSIOWrite(b *testing.B) {
+	b.SetBytes(int64(16 * 64 * units.KB))
+	for i := 0; i < b.N; i++ {
+		store, err := engine.NewMemOFS(32, 128*units.KB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.DFSIOWrite(store, "io", 16, 64*units.KB, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations over the design choices ---
+
+// ablationExec reports one wordcount job's execution seconds on a platform.
+func ablationExec(b *testing.B, p *mapreduce.Platform, gb float64) float64 {
+	b.Helper()
+	r := p.RunIsolated(mapreduce.Job{ID: "abl", App: apps.Wordcount(), Input: units.GiB(gb)})
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+	return r.Exec.Seconds()
+}
+
+// BenchmarkAblationRAMDisk quantifies the scale-up RAM disk: it reports the
+// slowdown of a 32 GB wordcount when shuffle data goes to the local disk
+// instead (§II-D's design choice).
+func BenchmarkAblationRAMDisk(b *testing.B) {
+	withRD := mapreduce.MustArch(mapreduce.UpOFS, cal())
+	spec := cluster.ScaleUp2()
+	spec.Machine.RAMDisk = false
+	spec.Machine.RAMDiskBW = 0
+	without, err := mapreduce.NewPlatform("up-OFS-noramdisk", spec, withRD.FS, cal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		slowdown = ablationExec(b, without, 32) / ablationExec(b, withRD, 32)
+	}
+	b.ReportMetric(slowdown, "slowdown-x")
+	if slowdown <= 1 {
+		b.Fatalf("removing the RAM disk should cost time, got ×%.3f", slowdown)
+	}
+}
+
+// BenchmarkAblationHeap quantifies the 8 GB heaps: shrinking them to the
+// scale-out 1.5 GB makes scale-up reducers spill (§II-D, §III-B).
+func BenchmarkAblationHeap(b *testing.B) {
+	big := mapreduce.MustArch(mapreduce.UpOFS, cal())
+	spec := cluster.ScaleUp2()
+	spec.Machine.HeapShuffle = units.Bytes(1.5 * float64(units.GB))
+	small, err := mapreduce.NewPlatform("up-OFS-smallheap", spec, big.FS, cal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 32 GB: the 8 GB heaps hold the per-reducer shuffle in memory while
+	// 1.5 GB heaps spill it to the store.
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		slowdown = ablationExec(b, small, 32) / ablationExec(b, big, 32)
+	}
+	b.ReportMetric(slowdown, "slowdown-x")
+	if slowdown <= 1 {
+		b.Fatalf("shrinking heaps should cost time, got ×%.6f", slowdown)
+	}
+}
+
+// BenchmarkAblationReplication quantifies the replication-factor-2 choice
+// (§II-D): factor 3 slows TestDFSIO writes on out-HDFS.
+func BenchmarkAblationReplication(b *testing.B) {
+	r2 := mapreduce.MustArch(mapreduce.OutHDFS, cal())
+	r3, err := mapreduce.NewHDFSPlatform("out-HDFS-r3", cluster.ScaleOut12(), cal(),
+		func(c *hdfs.Config) { c.Replication = 3 })
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := mapreduce.Job{ID: "abl", App: apps.DFSIOWrite(), Input: 50 * units.GB}
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		a, c := r3.RunIsolated(job), r2.RunIsolated(job)
+		if a.Err != nil || c.Err != nil {
+			b.Fatal(a.Err, c.Err)
+		}
+		slowdown = a.Exec.Seconds() / c.Exec.Seconds()
+	}
+	b.ReportMetric(slowdown, "slowdown-x")
+	if slowdown <= 1 {
+		b.Fatalf("replication 3 should slow writes, got ×%.3f", slowdown)
+	}
+}
+
+// BenchmarkAblationFairVsFIFO quantifies the scheduler policy on the trace:
+// Fair keeps the small-job tail short on THadoop relative to FIFO.
+func BenchmarkAblationFairVsFIFO(b *testing.B) {
+	cfg := traceConfig(1500)
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := mapreduce.NewTHadoop(cal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		p99 := func(policy mapreduce.Policy) float64 {
+			res := core.RunBaseline(th, jobs, policy)
+			var smalls []float64
+			for _, r := range res {
+				if r.Err == nil && r.Job.Input < 2*units.GB {
+					smalls = append(smalls, r.Exec.Seconds())
+				}
+			}
+			// crude p99
+			max := 0.0
+			for _, v := range smalls {
+				if v > max {
+					max = v
+				}
+			}
+			return max
+		}
+		ratio = p99(mapreduce.FIFO) / p99(mapreduce.Fair)
+	}
+	b.ReportMetric(ratio, "fifo/fair-smalljob-max")
+}
+
+// BenchmarkAblationInterconnect quantifies the Myrinet choice (§II-D): on
+// commodity 1 GbE the remote file system loses its large-job advantage and
+// the scale-up cluster's OFS reads throttle.
+func BenchmarkAblationInterconnect(b *testing.B) {
+	myrinet := mapreduce.MustArch(mapreduce.UpOFS, cal())
+	spec := cluster.ScaleUp2()
+	spec.Machine.NICBW = netmodel.Ethernet1G().PerNodeBW
+	ethernet, err := mapreduce.NewPlatform("up-OFS-1gbe", spec, myrinet.FS, cal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		slowdown = ablationExec(b, ethernet, 32) / ablationExec(b, myrinet, 32)
+	}
+	b.ReportMetric(slowdown, "slowdown-x")
+	if slowdown <= 1 {
+		b.Fatalf("1 GbE should slow remote reads, got ×%.3f", slowdown)
+	}
+}
+
+// BenchmarkAblationSpeculation quantifies Hadoop's speculative execution
+// under heavy stragglers (±100 % task jitter): the backup attempts bound
+// the per-wave tail.
+func BenchmarkAblationSpeculation(b *testing.B) {
+	p := mapreduce.MustArch(mapreduce.OutOFS, cal())
+	job := mapreduce.Job{ID: "abl", App: apps.Grep(), Input: 32 * units.GB}
+	run := func(speculate bool) float64 {
+		sim := mapreduce.NewSimulator(p)
+		if err := sim.InjectStragglers(1.0, speculate, 17); err != nil {
+			b.Fatal(err)
+		}
+		sim.Submit(job)
+		r := sim.Run()[0]
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		return r.Exec.Seconds()
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		speedup = run(false) / run(true)
+	}
+	b.ReportMetric(speedup, "speculation-speedup-x")
+	if speedup <= 1 {
+		b.Fatalf("speculation should help under stragglers, got ×%.3f", speedup)
+	}
+}
+
+// BenchmarkAblationThresholds quantifies Algorithm 1's cross points as a
+// routing knob: it reports the workload-mean slowdown of scaling every
+// threshold ×10 (pushing multi-GB jobs onto the 2 scale-up machines)
+// relative to the paper's measured 32/16/10 GB.
+func BenchmarkAblationThresholds(b *testing.B) {
+	cfg := traceConfig(1500)
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		pts, err := core.ThresholdSensitivity(cal(), jobs, []float64{1, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = pts[1].MeanExec / pts[0].MeanExec
+	}
+	b.ReportMetric(slowdown, "x10-thresholds-slowdown")
+	if slowdown <= 1 {
+		b.Fatalf("x10 thresholds should hurt, got ×%.3f", slowdown)
+	}
+}
+
+// BenchmarkAblationLoadBalancer quantifies the §VII extension: makespan of
+// a burst of scale-up jobs with and without diversion.
+func BenchmarkAblationLoadBalancer(b *testing.B) {
+	burst := make([]workload.Job, 100)
+	for i := range burst {
+		burst[i] = workload.Job{
+			ID:         "b" + string(rune('a'+i/26)) + string(rune('a'+i%26)),
+			App:        apps.Grep(),
+			Input:      4 * units.GB,
+			Submit:     time.Duration(i) * 200 * time.Millisecond,
+			RatioKnown: true,
+		}
+	}
+	makespan := func(withBalancer bool) float64 {
+		h, err := core.NewHybrid(cal())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if withBalancer {
+			bal, err := core.NewLoadBalancer(1.0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Balance = bal
+		}
+		var max time.Duration
+		for _, r := range h.Run(burst) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if r.End > max {
+				max = r.End
+			}
+		}
+		return max.Seconds()
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		speedup = makespan(false) / makespan(true)
+	}
+	b.ReportMetric(speedup, "balancer-speedup-x")
+	if speedup <= 1 {
+		b.Fatalf("load balancing should shorten the burst makespan, got ×%.3f", speedup)
+	}
+}

@@ -1,0 +1,107 @@
+// Command benchtables regenerates the paper's tables and figures from the
+// simulation models and prints them as aligned text.
+//
+// Usage:
+//
+//	benchtables -all                 # every table and figure
+//	benchtables -fig 5               # one figure (3, 4, 5, 6, 7, 8, 9, 10)
+//	benchtables -fig 5 -raw          # absolute seconds instead of normalized
+//	benchtables -table 1             # Table I
+//	benchtables -fig 10 -jobs 2000   # smaller trace run
+//	benchtables -all -out results/   # one .txt file per table/figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hybridmr/internal/figures"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/workload"
+)
+
+func main() {
+	var (
+		all   = flag.Bool("all", false, "print every table and figure")
+		fig   = flag.Int("fig", 0, "figure number to print (3–10)")
+		table = flag.Int("table", 0, "table number to print (1)")
+		jobs  = flag.Int("jobs", 6000, "trace job count for Figs. 3 and 10")
+		raw   = flag.Bool("raw", false, "absolute seconds instead of up-OFS-normalized panels in Figs. 5, 6, 9")
+		seed  = flag.Int64("seed", 2009, "trace seed")
+		out   = flag.String("out", "", "directory to write each table/figure to its own .txt file (default: stdout)")
+	)
+	flag.Parse()
+
+	cal := mapreduce.DefaultCalibration()
+	cfg := workload.DefaultConfig()
+	cfg.Seed = *seed
+	if *jobs > 0 && *jobs != cfg.Jobs {
+		// Preserve the full trace's arrival rate when scaling down.
+		cfg.Duration = time.Duration(float64(cfg.Duration) * float64(*jobs) / float64(cfg.Jobs))
+		cfg.Jobs = *jobs
+	}
+
+	if !*all && *fig == 0 && *table == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	emit := func(name, text string) {
+		if *out == "" {
+			fmt.Println(text)
+			return
+		}
+		path := filepath.Join(*out, name+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if *all || *table == 1 {
+		emit("table1", figures.TableI().Render())
+	}
+	fig5, fig6, fig9 := figures.Fig5, figures.Fig6, figures.Fig9
+	if *raw {
+		fig5, fig6, fig9 = figures.Fig5Raw, figures.Fig6Raw, figures.Fig9Raw
+	}
+	figBuilders := map[int]func() (interface{ Render() string }, error){
+		3:  func() (interface{ Render() string }, error) { return figures.Fig3(cfg) },
+		4:  func() (interface{ Render() string }, error) { return figures.Fig4(cal) },
+		5:  func() (interface{ Render() string }, error) { return fig5(cal) },
+		6:  func() (interface{ Render() string }, error) { return fig6(cal) },
+		7:  func() (interface{ Render() string }, error) { return figures.Fig7(cal) },
+		8:  func() (interface{ Render() string }, error) { return figures.Fig8(cal) },
+		9:  func() (interface{ Render() string }, error) { return fig9(cal) },
+		10: func() (interface{ Render() string }, error) { return figures.Fig10(cal, cfg) },
+	}
+	order := []int{3, 4, 5, 6, 7, 8, 9, 10}
+	for _, n := range order {
+		if !*all && *fig != n {
+			continue
+		}
+		f, err := figBuilders[n]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		emit(fmt.Sprintf("fig%d", n), f.Render())
+	}
+	if *fig != 0 && figBuilders[*fig] == nil {
+		fmt.Fprintf(os.Stderr, "benchtables: no figure %d\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+	os.Exit(1)
+}

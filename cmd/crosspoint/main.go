@@ -1,0 +1,66 @@
+// Command crosspoint reruns the paper's cross-point measurement methodology
+// (§IV): sweep each representative application over both clusters, locate
+// the sizes where the scale-out cluster takes over, and print the resulting
+// Algorithm 1 threshold table.
+//
+// Usage:
+//
+//	crosspoint            # measure and print the threshold table
+//	crosspoint -sweep     # also print the full ratio curves (Figs. 7, 8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridmr/internal/core"
+	"hybridmr/internal/figures"
+	"hybridmr/internal/mapreduce"
+)
+
+func main() {
+	sweep := flag.Bool("sweep", false, "print the full ratio curves")
+	flag.Parse()
+
+	cal := mapreduce.DefaultCalibration()
+	up, err := mapreduce.NewArch(mapreduce.UpOFS, cal)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := mapreduce.NewArch(mapreduce.OutOFS, cal)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *sweep {
+		for _, build := range []func(mapreduce.Calibration) (interface{ Render() string }, error){
+			func(c mapreduce.Calibration) (interface{ Render() string }, error) { return figures.Fig7(c) },
+			func(c mapreduce.Calibration) (interface{ Render() string }, error) { return figures.Fig8(c) },
+		} {
+			f, err := build(cal)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(f.Render())
+		}
+	}
+
+	cp, err := core.MeasureCrossPoints(up, out)
+	if err != nil {
+		fatal(err)
+	}
+	paper := core.PaperCrossPoints()
+	fmt.Println("Measured Algorithm 1 thresholds (paper values in parentheses):")
+	fmt.Printf("  shuffle/input > %.1f:        input < %v  (paper: %v)\n",
+		float64(cp.RatioHigh), cp.HighRatio, paper.HighRatio)
+	fmt.Printf("  %.1f ≤ shuffle/input ≤ %.1f:  input < %v  (paper: %v)\n",
+		float64(cp.RatioLow), float64(cp.RatioHigh), cp.MidRatio, paper.MidRatio)
+	fmt.Printf("  shuffle/input < %.1f:        input < %v  (paper: %v)\n",
+		float64(cp.RatioLow), cp.LowRatio, paper.LowRatio)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "crosspoint: %v\n", err)
+	os.Exit(1)
+}

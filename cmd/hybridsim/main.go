@@ -1,0 +1,221 @@
+// Command hybridsim runs MapReduce jobs on the paper's architectures.
+//
+// Single job on one architecture:
+//
+//	hybridsim -app wordcount -size 32GB -arch up-OFS
+//	hybridsim -app grep -size 8GB -arch all      # compare all four
+//
+// Trace experiment (§V) from a trace file or a fresh synthetic trace:
+//
+//	hybridsim -trace trace.csv
+//	hybridsim -jobs 6000                          # generate and run
+//
+// The trace mode runs the workload on the hybrid architecture and on the
+// THadoop/RHadoop baselines and prints per-class summaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/core"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/stats"
+	"hybridmr/internal/units"
+	"hybridmr/internal/workload"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "", "application: wordcount, grep, sort, dfsio-write, dfsio-read")
+		size    = flag.String("size", "", "input size, e.g. 32GB")
+		arch    = flag.String("arch", "all", "architecture: up-OFS, up-HDFS, out-OFS, out-HDFS, or all")
+		trace   = flag.String("trace", "", "trace file (CSV or JSON) to run the §V experiment on")
+		jobs    = flag.Int("jobs", 0, "generate a synthetic trace with this many jobs and run the §V experiment")
+		seed    = flag.Int64("seed", 2009, "seed for generated traces")
+		balance = flag.Bool("balance", false, "enable the §VII load-balancing extension")
+		hist    = flag.Bool("hist", false, "print execution-time histograms in trace mode")
+	)
+	flag.Parse()
+
+	switch {
+	case *trace != "" || *jobs > 0:
+		runTrace(*trace, *jobs, *seed, *balance, *hist)
+	case *app != "" && *size != "":
+		runSingle(*app, *size, *arch)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runSingle(appName, sizeStr, archName string) {
+	prof, err := apps.ByName(appName)
+	if err != nil {
+		fatal(err)
+	}
+	size, err := units.ParseBytes(sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+	cal := mapreduce.DefaultCalibration()
+	var arches []mapreduce.Arch
+	if archName == "all" {
+		arches = mapreduce.Arches()
+	} else {
+		found := false
+		for _, a := range mapreduce.Arches() {
+			if strings.EqualFold(a.String(), archName) {
+				arches = append(arches, a)
+				found = true
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown architecture %q", archName))
+		}
+	}
+	sched := core.MustScheduler(core.PaperCrossPoints())
+	explain := sched.ExplainDecision(workload.Job{ID: prof.Name, App: prof, Input: size, RatioKnown: true})
+	fmt.Printf("Algorithm 1: %s\n\n", explain)
+	fmt.Printf("%-10s %10s %10s %10s %10s %6s %7s\n",
+		"arch", "exec", "map", "shuffle", "reduce", "waves", "spill")
+	for _, a := range arches {
+		p, err := mapreduce.NewArch(a, cal)
+		if err != nil {
+			fatal(err)
+		}
+		r := p.RunIsolated(mapreduce.Job{ID: "cli", App: prof, Input: size})
+		if r.Err != nil {
+			fmt.Printf("%-10s %s\n", p.Name, r.Err)
+			continue
+		}
+		fmt.Printf("%-10s %9.1fs %9.1fs %9.1fs %9.1fs %6d %7v\n",
+			p.Name, r.Exec.Seconds(), r.MapPhase.Seconds(), r.ShufflePhase.Seconds(),
+			r.ReducePhase.Seconds(), r.MapWaves, r.Spilled)
+	}
+}
+
+func runTrace(path string, jobs int, seed int64, balance, hist bool) {
+	var (
+		trace []workload.Job
+		err   error
+	)
+	if path != "" {
+		f, err2 := os.Open(path)
+		if err2 != nil {
+			fatal(err2)
+		}
+		defer f.Close()
+		if strings.HasSuffix(path, ".json") {
+			trace, err = workload.ReadJSON(f)
+		} else {
+			trace, err = workload.ReadCSV(f)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg := workload.DefaultConfig()
+		cfg.Jobs = jobs
+		cfg.Seed = seed
+		cfg.Duration = time.Duration(float64(cfg.Duration) * float64(jobs) / 6000)
+		trace, err = workload.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cal := mapreduce.DefaultCalibration()
+	hybrid, err := core.NewHybrid(cal)
+	if err != nil {
+		fatal(err)
+	}
+	if balance {
+		bal, err := core.NewLoadBalancer(1.0)
+		if err != nil {
+			fatal(err)
+		}
+		hybrid.Balance = bal
+	}
+	upJobs, outJobs := hybrid.Sched.Classify(trace)
+	fmt.Print(workload.Summarize(trace))
+	fmt.Printf("routing: %d scale-up, %d scale-out\n\n", len(upJobs), len(outJobs))
+
+	isUp := make(map[string]bool, len(upJobs))
+	for _, j := range upJobs {
+		isUp[j.ID] = true
+	}
+
+	collectHy := func() map[string]float64 {
+		m := make(map[string]float64, len(trace))
+		for _, r := range hybrid.Run(trace) {
+			if r.Err != nil {
+				fatal(fmt.Errorf("hybrid job %s: %w", r.Job.ID, r.Err))
+			}
+			m[r.Job.ID] = r.Exec.Seconds()
+		}
+		return m
+	}
+	collect := func(p *mapreduce.Platform) map[string]float64 {
+		m := make(map[string]float64, len(trace))
+		for _, r := range core.RunBaseline(p, trace, mapreduce.Fair) {
+			if r.Err != nil {
+				fatal(fmt.Errorf("%s job %s: %w", p.Name, r.Job.ID, r.Err))
+			}
+			m[r.Job.ID] = r.Exec.Seconds()
+		}
+		return m
+	}
+	th, err := mapreduce.NewTHadoop(cal)
+	if err != nil {
+		fatal(err)
+	}
+	rh, err := mapreduce.NewRHadoop(cal)
+	if err != nil {
+		fatal(err)
+	}
+	results := []struct {
+		name string
+		exec map[string]float64
+	}{
+		{"Hybrid", collectHy()},
+		{"THadoop", collect(th)},
+		{"RHadoop", collect(rh)},
+	}
+	for _, class := range []struct {
+		name string
+		up   bool
+	}{{"scale-up jobs", true}, {"scale-out jobs", false}} {
+		fmt.Printf("== %s\n", class.name)
+		for _, r := range results {
+			c := stats.NewCDF(nil)
+			for id, e := range r.exec {
+				if isUp[id] == class.up {
+					c.Add(e)
+				}
+			}
+			fmt.Printf("  %-8s %s\n", r.name, c.Summarize())
+		}
+	}
+	if hist {
+		for _, r := range results {
+			h, err := stats.NewHistogram(1, 1e5, 2)
+			if err != nil {
+				fatal(err)
+			}
+			for _, e := range r.exec {
+				h.Add(e)
+			}
+			fmt.Printf("\n== %s execution-time histogram (seconds)\n%s", r.name, h.Render(50))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hybridsim: %v\n", err)
+	os.Exit(1)
+}

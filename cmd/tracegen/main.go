@@ -1,0 +1,83 @@
+// Command tracegen synthesizes an FB-2009-like workload trace (§V) and
+// writes it as CSV or JSON.
+//
+// Usage:
+//
+//	tracegen -jobs 6000 -seed 2009 -format csv  > trace.csv
+//	tracegen -jobs 500 -format json -out trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hybridmr/internal/workload"
+)
+
+func main() {
+	var (
+		jobs    = flag.Int("jobs", 6000, "number of jobs")
+		seed    = flag.Int64("seed", 2009, "random seed")
+		format  = flag.String("format", "csv", "output format: csv or json")
+		out     = flag.String("out", "", "output file (default stdout)")
+		shrink  = flag.Float64("shrink", 5, "size shrink factor (§V uses 5)")
+		hours   = flag.Float64("hours", 0, "arrival window in hours (default keeps the 6000-jobs/day rate)")
+		burst   = flag.Float64("burst", -1, "burst fraction in [0,1) (default from the generator)")
+		summary = flag.Bool("summary", false, "print trace statistics to stderr")
+	)
+	flag.Parse()
+
+	cfg := workload.DefaultConfig()
+	cfg.Jobs = *jobs
+	cfg.Seed = *seed
+	cfg.Shrink = *shrink
+	if *hours > 0 {
+		cfg.Duration = time.Duration(*hours * float64(time.Hour))
+	} else {
+		cfg.Duration = time.Duration(float64(cfg.Duration) * float64(*jobs) / 6000)
+	}
+	if *burst >= 0 {
+		cfg.BurstFraction = *burst
+	}
+
+	trace, err := workload.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *summary {
+		fmt.Fprint(os.Stderr, workload.Summarize(trace))
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		err = workload.WriteCSV(w, trace)
+	case "json":
+		err = workload.WriteJSON(w, trace)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

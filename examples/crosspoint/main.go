@@ -1,0 +1,63 @@
+// Crosspoint: rerun the paper's measurement methodology (§III–§IV) on the
+// simulated clusters — sweep input sizes, find where the scale-out cluster
+// overtakes the scale-up cluster per application class, and assemble a
+// scheduler from the measured thresholds. This is what the paper tells
+// "other designers" to do on their own hardware.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/core"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/units"
+	"hybridmr/internal/workload"
+)
+
+func main() {
+	cal := mapreduce.DefaultCalibration()
+	up, err := mapreduce.NewArch(mapreduce.UpOFS, cal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := mapreduce.NewArch(mapreduce.OutOFS, cal)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 (§III): sweep the representative applications and watch the
+	// normalized execution-time ratio cross 1.0.
+	for _, prof := range []apps.Profile{apps.Wordcount(), apps.Grep(), apps.DFSIOWrite()} {
+		fmt.Printf("%s (S/I %.2f):\n", prof.Name, float64(prof.ShuffleInputRatio))
+		pts := core.SweepCrossPoint(up, out, prof, units.GB, 64*units.GB, 12)
+		for _, p := range pts {
+			marker := "scale-up wins"
+			if p.Ratio < 1 {
+				marker = "scale-out wins"
+			}
+			fmt.Printf("  %8v  out/up ratio %.3f  (%s)\n", p.Input, p.Ratio, marker)
+		}
+	}
+
+	// Step 2 (§IV): condense the sweeps into Algorithm 1 thresholds.
+	cp, err := core.MeasureCrossPoints(up, out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmeasured thresholds: high=%v mid=%v low=%v (paper: 32/16/10 GB)\n",
+		cp.HighRatio, cp.MidRatio, cp.LowRatio)
+
+	// Step 3: drive a scheduler with them.
+	sched, err := core.NewScheduler(cp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, j := range []workload.Job{
+		{ID: "a", App: apps.Wordcount(), Input: 20 * units.GB, RatioKnown: true},
+		{ID: "b", App: apps.Grep(), Input: 20 * units.GB, RatioKnown: true},
+	} {
+		fmt.Printf("job %s (%s, %v) -> %v\n", j.ID, j.App.Name, j.Input, sched.Decide(j))
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: build the hybrid scale-up/out architecture, let Algorithm 1
+// route a few jobs, and compare each job against the four single-cluster
+// architectures of Table I.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/core"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/units"
+	"hybridmr/internal/workload"
+)
+
+func main() {
+	cal := mapreduce.DefaultCalibration()
+
+	// The hybrid: 2 scale-up + 12 scale-out machines sharing one remote
+	// OFS, with the paper's measured cross points (32/16/10 GB).
+	hybrid, err := core.NewHybrid(cal)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	jobs := []workload.Job{
+		{ID: "small-wc", App: apps.Wordcount(), Input: 2 * units.GB, RatioKnown: true},
+		{ID: "large-wc", App: apps.Wordcount(), Input: 64 * units.GB, RatioKnown: true},
+		{ID: "mid-grep", App: apps.Grep(), Input: 8 * units.GB, RatioKnown: true},
+		{ID: "big-write", App: apps.DFSIOWrite(), Input: 50 * units.GB, RatioKnown: true},
+		{ID: "mystery", App: apps.Wordcount(), Input: 12 * units.GB, RatioKnown: false},
+	}
+
+	fmt.Println("Algorithm 1 routing (shuffle/input ratio × input size):")
+	for _, j := range jobs {
+		fmt.Printf("  %-9s %-11s %8v S/I=%.2f known=%-5v -> %v\n",
+			j.ID, j.App.Name, j.Input, float64(j.App.ShuffleInputRatio), j.RatioKnown,
+			hybrid.Sched.Decide(j))
+	}
+
+	fmt.Println("\nRunning the jobs on the hybrid:")
+	for _, r := range hybrid.Run(jobs) {
+		if r.Err != nil {
+			log.Fatalf("%s: %v", r.Job.ID, r.Err)
+		}
+		fmt.Printf("  %-9s on %-8s exec=%6.1fs (map %5.1fs, shuffle %5.1fs, reduce %5.1fs)\n",
+			r.Job.ID, r.Platform, r.Exec.Seconds(),
+			r.MapPhase.Seconds(), r.ShufflePhase.Seconds(), r.ReducePhase.Seconds())
+	}
+
+	fmt.Println("\nThe same 2 GB wordcount across all four Table I architectures:")
+	for _, a := range mapreduce.Arches() {
+		p, err := mapreduce.NewArch(a, cal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := p.RunIsolated(mapreduce.Job{ID: "x", App: apps.Wordcount(), Input: 2 * units.GB})
+		fmt.Printf("  %-9s exec=%5.1fs\n", p.Name, r.Exec.Seconds())
+	}
+}

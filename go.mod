@@ -1,0 +1,3 @@
+module hybridmr
+
+go 1.22

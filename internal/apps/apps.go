@@ -1,0 +1,190 @@
+// Package apps defines the application profiles of the paper's measurement
+// study (§III-A): the shuffle-intensive Wordcount and Grep and the
+// map-intensive TestDFSIO write test, plus TestDFSIO read and Sort as
+// extensions. A profile captures what the scheduler and the cost model need:
+// the shuffle/input ratio (the paper's second decision factor), the relative
+// output size, and per-core processing rates.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridmr/internal/units"
+)
+
+// Class is the paper's coarse application taxonomy (§III).
+type Class int
+
+const (
+	// ShuffleIntensive applications have large shuffle data (Wordcount,
+	// Grep).
+	ShuffleIntensive Class = iota
+	// MapIntensive applications do most work in map and shuffle almost
+	// nothing (TestDFSIO).
+	MapIntensive
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ShuffleIntensive:
+		return "shuffle-intensive"
+	case MapIntensive:
+		return "map-intensive"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Profile describes one application's resource behaviour.
+type Profile struct {
+	// Name identifies the application.
+	Name string
+	// Class is the paper's taxonomy bucket.
+	Class Class
+	// ShuffleInputRatio is shuffle bytes / input bytes. The paper
+	// measures ≈1.6 for Wordcount and ≈0.4 for Grep regardless of input
+	// size (§III-B), and ≈0 for TestDFSIO (§III-C).
+	ShuffleInputRatio units.Ratio
+	// OutputShuffleRatio is final output bytes / shuffle bytes.
+	OutputShuffleRatio units.Ratio
+	// MapReadsInput reports whether map tasks read their split from the
+	// job file system (TestDFSIO write generates data instead).
+	MapReadsInput bool
+	// MapFSWriteRatio is the fraction of the input-sized data each map
+	// task writes directly to the job file system (1.0 for TestDFSIO
+	// write, 0 for the others, whose map output goes to the shuffle
+	// store).
+	MapFSWriteRatio units.Ratio
+	// MapRate is per-core map processing throughput on the scale-out
+	// baseline core (Opteron 2356); scale-up cores multiply it by their
+	// CPUFactor. Hadoop 1.x Java wordcount manages only ≈10 MB/s/core.
+	MapRate units.BytesPerSec
+	// ReduceRate is per-core reduce/merge throughput over shuffle bytes.
+	ReduceRate units.BytesPerSec
+}
+
+// Validate reports profile configuration errors.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("apps: profile has no name")
+	case p.ShuffleInputRatio < 0:
+		return fmt.Errorf("apps: %s: negative shuffle/input ratio", p.Name)
+	case p.OutputShuffleRatio < 0:
+		return fmt.Errorf("apps: %s: negative output/shuffle ratio", p.Name)
+	case p.MapFSWriteRatio < 0:
+		return fmt.Errorf("apps: %s: negative map FS write ratio", p.Name)
+	case p.MapRate <= 0:
+		return fmt.Errorf("apps: %s: non-positive map rate", p.Name)
+	case p.ReduceRate <= 0:
+		return fmt.Errorf("apps: %s: non-positive reduce rate", p.Name)
+	}
+	return nil
+}
+
+// ShuffleBytes returns the shuffle data volume for the given input size.
+func (p Profile) ShuffleBytes(input units.Bytes) units.Bytes {
+	return p.ShuffleInputRatio.Apply(input)
+}
+
+// OutputBytes returns the final output volume for the given input size.
+func (p Profile) OutputBytes(input units.Bytes) units.Bytes {
+	return p.OutputShuffleRatio.Apply(p.ShuffleBytes(input))
+}
+
+// Wordcount returns the paper's Wordcount profile: shuffle-intensive,
+// S/I ≈ 1.6, small output (word-frequency table), generated from the
+// BigDataBench Wikipedia corpus in the paper.
+func Wordcount() Profile {
+	return Profile{
+		Name:               "wordcount",
+		Class:              ShuffleIntensive,
+		ShuffleInputRatio:  1.6,
+		OutputShuffleRatio: 0.05,
+		MapReadsInput:      true,
+		MapFSWriteRatio:    0,
+		MapRate:            units.MBps(11.9),
+		ReduceRate:         units.MBps(400),
+	}
+}
+
+// Grep returns the paper's Grep profile: shuffle-intensive but lighter,
+// S/I ≈ 0.4, tiny output.
+func Grep() Profile {
+	return Profile{
+		Name:               "grep",
+		Class:              ShuffleIntensive,
+		ShuffleInputRatio:  0.4,
+		OutputShuffleRatio: 0.02,
+		MapReadsInput:      true,
+		MapFSWriteRatio:    0,
+		MapRate:            units.MBps(22.4),
+		ReduceRate:         units.MBps(400),
+	}
+}
+
+// DFSIOWrite returns the paper's TestDFSIO write-test profile: map tasks
+// write files to the job file system; shuffle carries only statistics
+// (S/I ≈ 0), and a single reducer aggregates them (§III-C).
+func DFSIOWrite() Profile {
+	return Profile{
+		Name:               "dfsio-write",
+		Class:              MapIntensive,
+		ShuffleInputRatio:  0.000001, // bytes of per-map statistics
+		OutputShuffleRatio: 1,
+		MapReadsInput:      false,
+		MapFSWriteRatio:    1,
+		MapRate:            units.MBps(301),
+		ReduceRate:         units.MBps(100),
+	}
+}
+
+// DFSIORead returns a TestDFSIO read-test profile (an extension beyond the
+// paper's write test): map tasks read files and report statistics.
+func DFSIORead() Profile {
+	return Profile{
+		Name:               "dfsio-read",
+		Class:              MapIntensive,
+		ShuffleInputRatio:  0.000001,
+		OutputShuffleRatio: 1,
+		MapReadsInput:      true,
+		MapFSWriteRatio:    0,
+		MapRate:            units.MBps(200),
+		ReduceRate:         units.MBps(100),
+	}
+}
+
+// Sort returns a Sort profile (S/I = 1.0, output = input), used by the
+// ablation benches; it sits between Grep and Wordcount in the scheduler's
+// ratio bands.
+func Sort() Profile {
+	return Profile{
+		Name:               "sort",
+		Class:              ShuffleIntensive,
+		ShuffleInputRatio:  1.0,
+		OutputShuffleRatio: 1.0,
+		MapReadsInput:      true,
+		MapFSWriteRatio:    0,
+		MapRate:            units.MBps(40),
+		ReduceRate:         units.MBps(120),
+	}
+}
+
+// All returns every built-in profile, sorted by name.
+func All() []Profile {
+	ps := []Profile{Wordcount(), Grep(), DFSIOWrite(), DFSIORead(), Sort()}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}
+
+// ByName returns the built-in profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("apps: unknown application %q", name)
+}

@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"hybridmr/internal/units"
+)
+
+func TestBuiltinsValidate(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+// §III-B: Wordcount's shuffle/input ratio is always ≈1.6 and Grep's ≈0.4;
+// §III-C: TestDFSIO's shuffle is negligible.
+func TestPaperRatios(t *testing.T) {
+	if r := Wordcount().ShuffleInputRatio; r != 1.6 {
+		t.Errorf("wordcount S/I = %v, want 1.6", r)
+	}
+	if r := Grep().ShuffleInputRatio; r != 0.4 {
+		t.Errorf("grep S/I = %v, want 0.4", r)
+	}
+	if r := DFSIOWrite().ShuffleInputRatio; r > 0.001 {
+		t.Errorf("dfsio-write S/I = %v, want ≈0", r)
+	}
+	if Wordcount().Class != ShuffleIntensive || Grep().Class != ShuffleIntensive {
+		t.Error("wordcount and grep are shuffle-intensive")
+	}
+	if DFSIOWrite().Class != MapIntensive {
+		t.Error("dfsio-write is map-intensive")
+	}
+}
+
+func TestShuffleAndOutputBytes(t *testing.T) {
+	wc := Wordcount()
+	if got := wc.ShuffleBytes(10 * units.GB); got != 16*units.GB {
+		t.Errorf("wordcount shuffle of 10GB = %v, want 16GB", got)
+	}
+	if got := wc.OutputBytes(10 * units.GB); got != units.GiB(0.8) {
+		t.Errorf("wordcount output of 10GB = %v", got)
+	}
+	g := Grep()
+	if got := g.ShuffleBytes(10 * units.GB); got != 4*units.GB {
+		t.Errorf("grep shuffle of 10GB = %v, want 4GB", got)
+	}
+}
+
+func TestDFSIOWriteShape(t *testing.T) {
+	d := DFSIOWrite()
+	if d.MapReadsInput {
+		t.Error("dfsio-write map tasks generate data, they do not read input")
+	}
+	if d.MapFSWriteRatio != 1 {
+		t.Errorf("dfsio-write MapFSWriteRatio = %v, want 1", d.MapFSWriteRatio)
+	}
+	if wc := Wordcount(); wc.MapFSWriteRatio != 0 || !wc.MapReadsInput {
+		t.Error("wordcount reads input and writes no FS data from map")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"wordcount", "grep", "dfsio-write", "dfsio-read", "sort"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("terasort-9000"); err == nil {
+		t.Error("ByName(unknown) succeeded")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	ps := All()
+	if len(ps) < 5 {
+		t.Fatalf("All returned %d profiles", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Name <= ps[i-1].Name {
+			t.Errorf("All not sorted: %q before %q", ps[i-1].Name, ps[i].Name)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ShuffleIntensive.String() != "shuffle-intensive" {
+		t.Error("ShuffleIntensive string")
+	}
+	if MapIntensive.String() != "map-intensive" {
+		t.Error("MapIntensive string")
+	}
+	if !strings.HasPrefix(Class(42).String(), "Class(") {
+		t.Error("unknown class string")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mut := func(f func(*Profile)) Profile {
+		p := Wordcount()
+		f(&p)
+		return p
+	}
+	bad := []struct {
+		name string
+		p    Profile
+	}{
+		{"no name", mut(func(p *Profile) { p.Name = "" })},
+		{"negative S/I", mut(func(p *Profile) { p.ShuffleInputRatio = -1 })},
+		{"negative O/S", mut(func(p *Profile) { p.OutputShuffleRatio = -1 })},
+		{"negative FS write", mut(func(p *Profile) { p.MapFSWriteRatio = -0.5 })},
+		{"no map rate", mut(func(p *Profile) { p.MapRate = 0 })},
+		{"no reduce rate", mut(func(p *Profile) { p.ReduceRate = 0 })},
+	}
+	for _, tt := range bad {
+		if err := tt.p.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded", tt.name)
+		}
+	}
+}

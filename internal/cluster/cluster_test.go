@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"testing"
+
+	"hybridmr/internal/units"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, s := range []Spec{ScaleUp2(), ScaleOut12(), ScaleOut24()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+// The paper's slot accounting (§II-D): 24 map+reduce slots per scale-up
+// machine, 8 per scale-out machine.
+func TestSlotAccounting(t *testing.T) {
+	up := ScaleUp2()
+	if got := up.MapSlotsPerMachine() + up.ReduceSlotsPerMachine(); got != 24 {
+		t.Errorf("scale-up slots per machine = %d, want 24", got)
+	}
+	if up.MapSlots() != 36 || up.ReduceSlots() != 12 {
+		t.Errorf("scale-up slots = %d map / %d reduce, want 36/12", up.MapSlots(), up.ReduceSlots())
+	}
+	out := ScaleOut12()
+	if got := out.MapSlotsPerMachine() + out.ReduceSlotsPerMachine(); got != 8 {
+		t.Errorf("scale-out slots per machine = %d, want 8", got)
+	}
+	if out.MapSlots() != 72 || out.ReduceSlots() != 24 {
+		t.Errorf("scale-out slots = %d map / %d reduce, want 72/24", out.MapSlots(), out.ReduceSlots())
+	}
+	if big := ScaleOut24(); big.MapSlots() != 144 || big.ReduceSlots() != 48 {
+		t.Errorf("scale-out-24 slots = %d/%d, want 144/48", big.MapSlots(), big.ReduceSlots())
+	}
+}
+
+// The paper chose 2 scale-up vs 12 scale-out machines for equal price
+// (§II-C), and the 24-node baseline matches the hybrid's total cost (§V).
+func TestPriceParity(t *testing.T) {
+	up, out, out24 := ScaleUp2(), ScaleOut12(), ScaleOut24()
+	if up.TotalPrice() != out.TotalPrice() {
+		t.Errorf("scale-up price %v != scale-out price %v", up.TotalPrice(), out.TotalPrice())
+	}
+	hybrid := up.TotalPrice() + out.TotalPrice()
+	if out24.TotalPrice() != hybrid {
+		t.Errorf("24-node price %v != hybrid price %v", out24.TotalPrice(), hybrid)
+	}
+}
+
+func TestMachinePresetsMatchPaper(t *testing.T) {
+	upm := ScaleUpMachine()
+	if upm.Cores != 24 || upm.RAM != 505*units.GB || upm.DiskCapacity != 91*units.GB {
+		t.Errorf("scale-up machine deviates from paper: %+v", upm)
+	}
+	if !upm.RAMDisk {
+		t.Error("scale-up machine must use a RAM disk for shuffle data (§II-D)")
+	}
+	if upm.RAMDiskCapacity() != upm.RAM/2 {
+		t.Errorf("RAM disk capacity = %v, want half of RAM", upm.RAMDiskCapacity())
+	}
+	if upm.HeapShuffle != 8*units.GB {
+		t.Errorf("scale-up heap = %v, want 8GB", upm.HeapShuffle)
+	}
+	outm := ScaleOutMachine()
+	if outm.Cores != 8 || outm.RAM != 16*units.GB || outm.DiskCapacity != 193*units.GB {
+		t.Errorf("scale-out machine deviates from paper: %+v", outm)
+	}
+	if outm.RAMDisk {
+		t.Error("scale-out machine must not use a RAM disk (§II-D)")
+	}
+	if outm.RAMDiskCapacity() != 0 {
+		t.Error("RAMDiskCapacity should be 0 without a RAM disk")
+	}
+	if outm.HeapShuffle != units.Bytes(1.5*float64(units.GB)) || outm.HeapMap != units.GB {
+		t.Errorf("scale-out heaps = %v/%v, want 1.5GB/1GB", outm.HeapShuffle, outm.HeapMap)
+	}
+	if outm.CPUFactor >= upm.CPUFactor {
+		t.Error("scale-up cores must be faster than scale-out cores")
+	}
+}
+
+func TestShuffleStore(t *testing.T) {
+	upm, outm := ScaleUpMachine(), ScaleOutMachine()
+	if upm.ShuffleStoreBW() != upm.RAMDiskBW {
+		t.Error("scale-up shuffle store should be the RAM disk")
+	}
+	if outm.ShuffleStoreBW() != outm.DiskBW {
+		t.Error("scale-out shuffle store should be the local disk")
+	}
+	if upm.ShuffleStoreCapacity() != upm.RAM/2 {
+		t.Error("scale-up shuffle capacity should be tmpfs size")
+	}
+	if outm.ShuffleStoreCapacity() != outm.DiskCapacity {
+		t.Error("scale-out shuffle capacity should be the disk")
+	}
+}
+
+func TestTasksPerNode(t *testing.T) {
+	out := ScaleOut12()
+	tests := []struct {
+		active, want int
+	}{
+		{0, 0}, {-3, 0}, {1, 1}, {12, 1}, {13, 2}, {72, 6}, {100, 9},
+	}
+	for _, tt := range tests {
+		if got := out.TasksPerNode(tt.active); got != tt.want {
+			t.Errorf("TasksPerNode(%d) = %d, want %d", tt.active, got, tt.want)
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	out := ScaleOut12()
+	if got := out.AggregateNIC(); got != units.GBps(1.25)*12 {
+		t.Errorf("AggregateNIC = %v", got)
+	}
+	if got := out.AggregateShuffleBW(); got != out.Machine.DiskBW*12 {
+		t.Errorf("AggregateShuffleBW = %v", got)
+	}
+	up := ScaleUp2()
+	if got := up.AggregateShuffleBW(); got != units.GBps(3)*2 {
+		t.Errorf("scale-up AggregateShuffleBW = %v", got)
+	}
+	if got := up.TotalDiskCapacity(); got != 182*units.GB {
+		t.Errorf("scale-up TotalDiskCapacity = %v, want 182GB", got)
+	}
+	if up.TotalCores() != 48 || out.TotalCores() != 96 {
+		t.Errorf("total cores = %d/%d, want 48/96", up.TotalCores(), out.TotalCores())
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	good := ScaleUp2()
+
+	broken := func(mut func(*Spec)) Spec {
+		s := good
+		mut(&s)
+		return s
+	}
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"no name", broken(func(s *Spec) { s.Name = "" })},
+		{"no machines", broken(func(s *Spec) { s.Machines = 0 })},
+		{"bad fraction low", broken(func(s *Spec) { s.MapSlotFraction = 0 })},
+		{"bad fraction high", broken(func(s *Spec) { s.MapSlotFraction = 1 })},
+		{"machine no cores", broken(func(s *Spec) { s.Machine.Cores = 0 })},
+		{"machine no cpu", broken(func(s *Spec) { s.Machine.CPUFactor = 0 })},
+		{"machine no ram", broken(func(s *Spec) { s.Machine.RAM = 0 })},
+		{"machine no disk bw", broken(func(s *Spec) { s.Machine.DiskBW = 0 })},
+		{"machine no nic", broken(func(s *Spec) { s.Machine.NICBW = 0 })},
+		{"ramdisk without bw", broken(func(s *Spec) { s.Machine.RAMDiskBW = 0 })},
+		{"machine no heap", broken(func(s *Spec) { s.Machine.HeapShuffle = 0 })},
+		{"machine no name", broken(func(s *Spec) { s.Machine.Name = "" })},
+	}
+	for _, tt := range cases {
+		if err := tt.spec.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", tt.name)
+		}
+	}
+}
+
+// The slot split always leaves at least one map and one reduce slot even on
+// tiny machines.
+func TestSlotSplitBounds(t *testing.T) {
+	s := ScaleOut12()
+	s.Machine.Cores = 2
+	if s.MapSlotsPerMachine() != 1 || s.ReduceSlotsPerMachine() != 1 {
+		t.Errorf("2-core split = %d/%d, want 1/1", s.MapSlotsPerMachine(), s.ReduceSlotsPerMachine())
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("2-core spec invalid: %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/units"
+	"hybridmr/internal/workload"
+)
+
+func TestExplainDecision(t *testing.T) {
+	s := MustScheduler(PaperCrossPoints())
+	e := s.ExplainDecision(workload.Job{
+		ID: "j1", App: apps.Wordcount(), Input: 16 * units.GB, RatioKnown: true,
+	})
+	if e.Target != ScaleUp || e.Threshold != 32*units.GB {
+		t.Errorf("explain = %+v", e)
+	}
+	if !strings.Contains(e.String(), "scale-up") || !strings.Contains(e.String(), "j1") {
+		t.Errorf("explain string = %q", e.String())
+	}
+	u := s.ExplainDecision(workload.Job{
+		ID: "j2", App: apps.Wordcount(), Input: 16 * units.GB, RatioKnown: false,
+	})
+	if u.Threshold != 10*units.GB || u.Target != ScaleOut {
+		t.Errorf("unknown-ratio explain = %+v", u)
+	}
+	if !strings.Contains(u.String(), "unknown") {
+		t.Errorf("unknown-ratio string = %q", u.String())
+	}
+}
+
+// The paper's thresholds sit near the optimum of the routing knob: the
+// workload mean at scale 1 beats heavy mis-scalings in both directions.
+func TestThresholdSensitivity(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Jobs = 1500
+	cfg.Duration = 6 * time.Hour
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales := []float64{0.1, 1, 10}
+	pts, err := ThresholdSensitivity(mapreduce.DefaultCalibration(), jobs, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(scales) {
+		t.Fatalf("%d points", len(pts))
+	}
+	byScale := map[float64]SensitivityPoint{}
+	for _, p := range pts {
+		byScale[p.Scale] = p
+	}
+	// Routing fraction is monotone in the scale.
+	if !(byScale[0.1].UpFraction < byScale[1].UpFraction && byScale[1].UpFraction < byScale[10].UpFraction) {
+		t.Errorf("up fractions not monotone: %+v", pts)
+	}
+	// Scale 10 pushes multi-GB jobs onto 2 machines — clearly worse.
+	if byScale[1].MeanExec >= byScale[10].MeanExec {
+		t.Errorf("paper thresholds (%.1fs) should beat ×10 (%.1fs)", byScale[1].MeanExec, byScale[10].MeanExec)
+	}
+	// Scale 0.1 wastes the scale-up cluster on almost nothing; the paper
+	// thresholds should be at least competitive.
+	if byScale[1].MeanExec > byScale[0.1].MeanExec*1.10 {
+		t.Errorf("paper thresholds (%.1fs) far worse than ×0.1 (%.1fs)", byScale[1].MeanExec, byScale[0.1].MeanExec)
+	}
+}
+
+func TestThresholdSensitivityErrors(t *testing.T) {
+	jobs := []workload.Job{{ID: "a", App: apps.Grep(), Input: units.GB, RatioKnown: true}}
+	if _, err := ThresholdSensitivity(mapreduce.DefaultCalibration(), jobs, nil); err == nil {
+		t.Error("no scales accepted")
+	}
+	if _, err := ThresholdSensitivity(mapreduce.DefaultCalibration(), jobs, []float64{0}); err == nil {
+		t.Error("zero scale accepted")
+	}
+}

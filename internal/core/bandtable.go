@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/units"
+	"hybridmr/internal/workload"
+)
+
+// The paper notes that "a fine-grained ratio partition can be conducted
+// from more experiments with other different jobs to make the algorithm
+// more accurate" (§IV). BandTable is that extension: an arbitrary number of
+// shuffle/input-ratio bands, each with its own measured input-size
+// threshold, instead of Algorithm 1's fixed three.
+
+// Band is one ratio band of a fine-grained threshold table: jobs with
+// shuffle/input ratio ≥ MinRatio (and below the next band's MinRatio) go to
+// the scale-up cluster iff their input is under Threshold.
+type Band struct {
+	MinRatio  units.Ratio
+	Threshold units.Bytes
+}
+
+// BandTable is a fine-grained scheduler table. Bands are kept sorted by
+// MinRatio ascending; thresholds must not decrease with the ratio (a larger
+// shuffle share never shrinks the scale-up advantage — the paper's §III
+// conclusion).
+type BandTable struct {
+	bands []Band
+}
+
+// NewBandTable validates and sorts the bands. The first band must start at
+// ratio 0 so every job falls somewhere.
+func NewBandTable(bands []Band) (*BandTable, error) {
+	if len(bands) == 0 {
+		return nil, fmt.Errorf("core: empty band table")
+	}
+	sorted := append([]Band(nil), bands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].MinRatio < sorted[j].MinRatio })
+	if sorted[0].MinRatio != 0 {
+		return nil, fmt.Errorf("core: first band starts at ratio %v, want 0", sorted[0].MinRatio)
+	}
+	for i, b := range sorted {
+		if b.Threshold <= 0 {
+			return nil, fmt.Errorf("core: band %d has threshold %d", i, b.Threshold)
+		}
+		if i > 0 {
+			if b.MinRatio == sorted[i-1].MinRatio {
+				return nil, fmt.Errorf("core: duplicate band at ratio %v", b.MinRatio)
+			}
+			if b.Threshold < sorted[i-1].Threshold {
+				return nil, fmt.Errorf("core: threshold decreases at ratio %v", b.MinRatio)
+			}
+		}
+	}
+	return &BandTable{bands: sorted}, nil
+}
+
+// FromCrossPoints converts an Algorithm 1 table into the band form.
+func FromCrossPoints(cp CrossPoints) (*BandTable, error) {
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	return NewBandTable([]Band{
+		{MinRatio: 0, Threshold: cp.LowRatio},
+		{MinRatio: cp.RatioLow, Threshold: cp.MidRatio},
+		// Algorithm 1's top band opens just above RatioHigh.
+		{MinRatio: cp.RatioHigh + 0.000001, Threshold: cp.HighRatio},
+	})
+}
+
+// Bands returns a copy of the sorted bands.
+func (t *BandTable) Bands() []Band { return append([]Band(nil), t.bands...) }
+
+// Threshold returns the input-size threshold for a job with the given
+// ratio; unknown ratios fall into the lowest band, as in Algorithm 1.
+func (t *BandTable) Threshold(ratio units.Ratio, known bool) units.Bytes {
+	if !known {
+		return t.bands[0].Threshold
+	}
+	th := t.bands[0].Threshold
+	for _, b := range t.bands {
+		if ratio >= b.MinRatio {
+			th = b.Threshold
+		}
+	}
+	return th
+}
+
+// Decide routes one job, like Scheduler.Decide but over the fine table.
+func (t *BandTable) Decide(job workload.Job) Target {
+	if job.SchedulingSize() < t.Threshold(job.App.ShuffleInputRatio, job.RatioKnown) {
+		return ScaleUp
+	}
+	return ScaleOut
+}
+
+// String renders the table, one band per line.
+func (t *BandTable) String() string {
+	var b strings.Builder
+	for i, band := range t.bands {
+		hi := "∞"
+		if i+1 < len(t.bands) {
+			hi = fmt.Sprintf("%.2f", float64(t.bands[i+1].MinRatio))
+		}
+		fmt.Fprintf(&b, "ratio [%.2f, %s): scale-up below %v\n", float64(band.MinRatio), hi, band.Threshold)
+	}
+	return b.String()
+}
+
+// MeasureBandTable runs the fine-grained partition the paper suggests:
+// measure a cross point for every probe application (each contributing its
+// own shuffle/input ratio) and assemble a band per probe. Probes whose
+// sweep finds no crossover are skipped; at least one must succeed. The
+// default probe set spans ratios 0 (TestDFSIO), 0.4 (Grep), 1.0 (Sort) and
+// 1.6 (Wordcount).
+func MeasureBandTable(up, out *mapreduce.Platform, probes ...apps.Profile) (*BandTable, error) {
+	if len(probes) == 0 {
+		probes = []apps.Profile{apps.DFSIOWrite(), apps.Grep(), apps.Sort(), apps.Wordcount()}
+	}
+	type probe struct {
+		ratio units.Ratio
+		cross units.Bytes
+	}
+	var measured []probe
+	for _, prof := range probes {
+		cp, ok := FindCrossPoint(up, out, prof, units.GB, 150*units.GB, 96)
+		if !ok {
+			continue
+		}
+		measured = append(measured, probe{ratio: prof.ShuffleInputRatio, cross: cp})
+	}
+	if len(measured) == 0 {
+		return nil, fmt.Errorf("core: no probe found a cross point")
+	}
+	sort.Slice(measured, func(i, j int) bool { return measured[i].ratio < measured[j].ratio })
+	// Enforce monotone thresholds (sweep noise can invert neighbouring
+	// probes whose true cross points are within one grid step).
+	for i := 1; i < len(measured); i++ {
+		if measured[i].cross < measured[i-1].cross {
+			measured[i].cross = measured[i-1].cross
+		}
+	}
+	bands := make([]Band, 0, len(measured))
+	for i, m := range measured {
+		min := units.Ratio(0)
+		if i > 0 {
+			// Open each band at the midpoint between neighbouring
+			// probe ratios.
+			min = (measured[i-1].ratio + m.ratio) / 2
+		}
+		bands = append(bands, Band{MinRatio: min, Threshold: m.cross})
+	}
+	return NewBandTable(bands)
+}

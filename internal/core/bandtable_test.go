@@ -1,0 +1,147 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/units"
+	"hybridmr/internal/workload"
+)
+
+func TestNewBandTableValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		bands []Band
+	}{
+		{"empty", nil},
+		{"no zero band", []Band{{MinRatio: 0.5, Threshold: units.GB}}},
+		{"zero threshold", []Band{{MinRatio: 0, Threshold: 0}}},
+		{"duplicate ratio", []Band{
+			{MinRatio: 0, Threshold: units.GB},
+			{MinRatio: 0, Threshold: 2 * units.GB},
+		}},
+		{"decreasing threshold", []Band{
+			{MinRatio: 0, Threshold: 10 * units.GB},
+			{MinRatio: 1, Threshold: 5 * units.GB},
+		}},
+	}
+	for _, tt := range cases {
+		if _, err := NewBandTable(tt.bands); err == nil {
+			t.Errorf("%s: accepted", tt.name)
+		}
+	}
+}
+
+func TestBandTableSortsInput(t *testing.T) {
+	tab, err := NewBandTable([]Band{
+		{MinRatio: 1.2, Threshold: 32 * units.GB},
+		{MinRatio: 0, Threshold: 10 * units.GB},
+		{MinRatio: 0.4, Threshold: 16 * units.GB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := tab.Bands()
+	for i := 1; i < len(bands); i++ {
+		if bands[i].MinRatio <= bands[i-1].MinRatio {
+			t.Fatalf("bands unsorted: %+v", bands)
+		}
+	}
+	if !strings.Contains(tab.String(), "scale-up below") {
+		t.Error("String output")
+	}
+}
+
+// FromCrossPoints reproduces Algorithm 1's decisions exactly.
+func TestFromCrossPointsEquivalence(t *testing.T) {
+	cp := PaperCrossPoints()
+	sched := MustScheduler(cp)
+	tab, err := FromCrossPoints(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := []apps.Profile{apps.Wordcount(), apps.Grep(), apps.Sort(), apps.DFSIOWrite()}
+	f := func(sizeRaw uint64, profIdx uint8, known bool) bool {
+		prof := profiles[int(profIdx)%len(profiles)]
+		size := units.Bytes(sizeRaw%uint64(200*units.GB)) + 1
+		j := workload.Job{ID: "x", App: prof, Input: size, RatioKnown: known}
+		return sched.Decide(j) == tab.Decide(j)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+	if _, err := FromCrossPoints(CrossPoints{}); err == nil {
+		t.Error("invalid cross points accepted")
+	}
+}
+
+// Property: thresholds are monotone non-decreasing in the ratio.
+func TestBandTableMonotoneProperty(t *testing.T) {
+	tab, err := NewBandTable([]Band{
+		{MinRatio: 0, Threshold: 8 * units.GB},
+		{MinRatio: 0.3, Threshold: 12 * units.GB},
+		{MinRatio: 0.8, Threshold: 20 * units.GB},
+		{MinRatio: 1.4, Threshold: 40 * units.GB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aRaw, bRaw uint16) bool {
+		a := units.Ratio(float64(aRaw) / 1000)
+		b := units.Ratio(float64(bRaw) / 1000)
+		if a > b {
+			a, b = b, a
+		}
+		return tab.Threshold(a, true) <= tab.Threshold(b, true)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Unknown ratios always use the lowest band.
+	if tab.Threshold(99, false) != 8*units.GB {
+		t.Error("unknown ratio should map to the lowest band")
+	}
+}
+
+// The fine-grained measurement produces a valid table whose three-band
+// projection agrees with the coarse measurement.
+func TestMeasureBandTable(t *testing.T) {
+	up, out := upOutPlatforms(t)
+	tab, err := MeasureBandTable(up, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := tab.Bands()
+	if len(bands) < 3 {
+		t.Fatalf("only %d bands measured", len(bands))
+	}
+	// Wordcount's band threshold near the paper's 32 GB; the lowest band
+	// near 10–13 GB.
+	top := bands[len(bands)-1].Threshold.GiBf()
+	if top < 19 || top > 45 {
+		t.Errorf("top band threshold %.1fGB, want ≈30GB", top)
+	}
+	low := bands[0].Threshold.GiBf()
+	if low < 6 || low > 18 {
+		t.Errorf("lowest band threshold %.1fGB, want ≈10–13GB", low)
+	}
+	// Sort (ratio 1.0) contributes an intermediate band — the fine
+	// partition the paper suggests.
+	if len(bands) >= 4 {
+		mid := bands[2].Threshold
+		if mid < bands[0].Threshold || mid > bands[len(bands)-1].Threshold {
+			t.Errorf("intermediate band %v outside [low, top]", mid)
+		}
+	}
+	// And it drives routing.
+	j := workload.Job{ID: "x", App: apps.Sort(), Input: 2 * units.GB, RatioKnown: true}
+	if tab.Decide(j) != ScaleUp {
+		t.Error("small sort should go scale-up")
+	}
+	j.Input = 140 * units.GB
+	if tab.Decide(j) != ScaleOut {
+		t.Error("huge sort should go scale-out")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/units"
+)
+
+// CrossSweepPoint is one probe of a cross-point sweep: the normalized
+// execution time of the scale-out cluster relative to the scale-up cluster
+// at one input size (the y-axis of the paper's Figures 7 and 8).
+type CrossSweepPoint struct {
+	Input units.Bytes
+	// Ratio is exec(scale-out) / exec(scale-up); below 1 means the
+	// scale-out cluster wins.
+	Ratio float64
+}
+
+// SweepCrossPoint probes the two platforms with the application at `steps`
+// log-spaced sizes in [lo, hi] and returns the ratio curve. Sizes either
+// platform rejects are skipped.
+func SweepCrossPoint(up, out *mapreduce.Platform, prof apps.Profile, lo, hi units.Bytes, steps int) []CrossSweepPoint {
+	if steps < 2 {
+		panic("core: SweepCrossPoint needs ≥2 steps")
+	}
+	pts := make([]CrossSweepPoint, 0, steps)
+	lf, hf := float64(lo), float64(hi)
+	for i := 0; i < steps; i++ {
+		size := units.Bytes(math.Round(lf * math.Pow(hf/lf, float64(i)/float64(steps-1))))
+		job := mapreduce.Job{ID: "sweep", App: prof, Input: size}
+		u := up.RunIsolated(job)
+		o := out.RunIsolated(job)
+		if u.Err != nil || o.Err != nil {
+			continue
+		}
+		pts = append(pts, CrossSweepPoint{Input: size, Ratio: o.Exec.Seconds() / u.Exec.Seconds()})
+	}
+	return pts
+}
+
+// FindCrossPoint returns the measured cross point: the largest probed size
+// at which the scale-up cluster still wins (ratio ≥ 1), provided the
+// scale-out cluster wins at every larger probe up to hi. It returns
+// (0, false) when one side wins everywhere.
+func FindCrossPoint(up, out *mapreduce.Platform, prof apps.Profile, lo, hi units.Bytes, steps int) (units.Bytes, bool) {
+	pts := SweepCrossPoint(up, out, prof, lo, hi, steps)
+	last := -1
+	for i, p := range pts {
+		if p.Ratio >= 1 {
+			last = i
+		}
+	}
+	if last == -1 || last == len(pts)-1 {
+		return 0, false
+	}
+	return pts[last].Input, true
+}
+
+// MeasureCrossPoints reruns the paper's methodology on a pair of platforms:
+// measure the ratio-band thresholds with a representative application per
+// band (Wordcount for ratios above 1, Grep for the middle band, TestDFSIO
+// write for map-intensive jobs) and assemble a CrossPoints table for the
+// scheduler. Other deployments "can follow the same method to measure the
+// cross points in their systems" (§IV) — this is that method, executable.
+func MeasureCrossPoints(up, out *mapreduce.Platform) (CrossPoints, error) {
+	const steps = 96
+	cp := CrossPoints{RatioHigh: 1.0, RatioLow: 0.4}
+	high, ok := FindCrossPoint(up, out, apps.Wordcount(), 2*units.GB, 120*units.GB, steps)
+	if !ok {
+		return cp, errNoCross("wordcount")
+	}
+	mid, ok := FindCrossPoint(up, out, apps.Grep(), units.GB, 80*units.GB, steps)
+	if !ok {
+		return cp, errNoCross("grep")
+	}
+	low, ok := FindCrossPoint(up, out, apps.DFSIOWrite(), units.GB, 60*units.GB, steps)
+	if !ok {
+		return cp, errNoCross("dfsio-write")
+	}
+	cp.HighRatio, cp.MidRatio, cp.LowRatio = high, mid, low
+	// Keep the table monotone even when two measured points land within
+	// one probe step of each other.
+	if cp.MidRatio < cp.LowRatio {
+		cp.MidRatio = cp.LowRatio
+	}
+	if cp.HighRatio < cp.MidRatio {
+		cp.HighRatio = cp.MidRatio
+	}
+	return cp, cp.Validate()
+}
+
+type errNoCross string
+
+func (e errNoCross) Error() string {
+	return "core: no cross point found for " + string(e) + " in the probed range"
+}

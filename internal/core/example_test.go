@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/core"
+	"hybridmr/internal/units"
+	"hybridmr/internal/workload"
+)
+
+// Routing jobs with the paper's Algorithm 1.
+func ExampleScheduler_Decide() {
+	sched := core.MustScheduler(core.PaperCrossPoints())
+	jobs := []workload.Job{
+		{ID: "small-wc", App: apps.Wordcount(), Input: 2 * units.GB, RatioKnown: true},
+		{ID: "large-wc", App: apps.Wordcount(), Input: 64 * units.GB, RatioKnown: true},
+		{ID: "mystery", App: apps.Wordcount(), Input: 12 * units.GB, RatioKnown: false},
+	}
+	for _, j := range jobs {
+		fmt.Printf("%s -> %v\n", j.ID, sched.Decide(j))
+	}
+	// Output:
+	// small-wc -> scale-up
+	// large-wc -> scale-out
+	// mystery -> scale-out
+}
+
+// Explaining a routing decision.
+func ExampleScheduler_ExplainDecision() {
+	sched := core.MustScheduler(core.PaperCrossPoints())
+	e := sched.ExplainDecision(workload.Job{
+		ID: "grep-job", App: apps.Grep(), Input: 8 * units.GB, RatioKnown: true,
+	})
+	fmt.Println(e)
+	// Output:
+	// grep-job: shuffle/input 0.40, size 8.0GB vs threshold 16.0GB -> scale-up
+}
+
+// The threshold table behind Algorithm 1.
+func ExampleCrossPoints_Threshold() {
+	cp := core.PaperCrossPoints()
+	fmt.Println(cp.Threshold(1.6, true))  // wordcount band
+	fmt.Println(cp.Threshold(0.4, true))  // grep band
+	fmt.Println(cp.Threshold(0.0, true))  // map-intensive band
+	fmt.Println(cp.Threshold(1.6, false)) // ratio unknown
+	// Output:
+	// 32.0GB
+	// 16.0GB
+	// 10.0GB
+	// 10.0GB
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/simclock"
+	"hybridmr/internal/workload"
+)
+
+// Hybrid is the paper's hybrid scale-up/out Hadoop architecture (§IV): a
+// scale-up cluster and a scale-out cluster mounting the same remote file
+// system (OFS), so any job can read its data from either side without
+// transferring it, plus the Algorithm 1 scheduler deciding where each job
+// runs. An optional load balancer implements the future-work extension of
+// §VII.
+type Hybrid struct {
+	// Up and Out are the two halves; the paper uses 2 scale-up and 12
+	// scale-out machines, both on OFS.
+	Up, Out *mapreduce.Platform
+	// Sched routes jobs (Algorithm 1).
+	Sched *Scheduler
+	// Balance, when non-nil, diverts jobs away from an overloaded queue
+	// (§VII future work). Nil reproduces the paper's architecture.
+	Balance *LoadBalancer
+	// Policy is the intra-cluster slot-sharing policy. The trace
+	// experiment uses the Fair Scheduler, as Facebook's production
+	// clusters did (the paper cites it as [4]).
+	Policy mapreduce.Policy
+}
+
+// NewHybrid assembles the paper's hybrid: up-OFS and out-OFS platforms with
+// the paper's cross points.
+func NewHybrid(cal mapreduce.Calibration) (*Hybrid, error) {
+	up, err := mapreduce.NewArch(mapreduce.UpOFS, cal)
+	if err != nil {
+		return nil, err
+	}
+	out, err := mapreduce.NewArch(mapreduce.OutOFS, cal)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := NewScheduler(PaperCrossPoints())
+	if err != nil {
+		return nil, err
+	}
+	return &Hybrid{Up: up, Out: out, Sched: sched, Policy: mapreduce.Fair}, nil
+}
+
+// JobResult is a simulated job's outcome plus the routing decision.
+type JobResult struct {
+	mapreduce.Result
+	// Target is the cluster Algorithm 1 chose.
+	Target Target
+	// Diverted reports that the load balancer overrode the choice (the
+	// job then ran on the opposite cluster).
+	Diverted bool
+}
+
+// Ran returns where the job actually executed.
+func (r JobResult) Ran() Target {
+	if !r.Diverted {
+		return r.Target
+	}
+	if r.Target == ScaleUp {
+		return ScaleOut
+	}
+	return ScaleUp
+}
+
+// Run executes the workload on the hybrid: both halves share one simulated
+// clock, each with its own slot pools, and every job is routed at its
+// arrival instant — so the load balancer (if any) sees live queue depths.
+func (h *Hybrid) Run(jobs []workload.Job) []JobResult {
+	if h.Sched == nil {
+		panic("core: hybrid has no scheduler")
+	}
+	eng := simclock.New()
+	upSim := mapreduce.NewSimulatorOn(eng, h.Up)
+	outSim := mapreduce.NewSimulatorOn(eng, h.Out)
+	upSim.SetPolicy(h.Policy)
+	outSim.SetPolicy(h.Policy)
+
+	type decision struct {
+		target   Target
+		diverted bool
+	}
+	decisions := make(map[string]decision, len(jobs))
+	for _, job := range jobs {
+		job := job
+		eng.At(job.Submit, func(now time.Duration) {
+			target := h.Sched.Decide(job)
+			dest := target
+			diverted := false
+			if h.Balance != nil {
+				if d := h.Balance.Divert(target, upSim, outSim); d != target {
+					dest, diverted = d, true
+				}
+			}
+			// Target keeps the scheduler's choice; dest is where the
+			// job actually runs.
+			decisions[job.ID] = decision{target: target, diverted: diverted}
+			if dest == ScaleUp {
+				upSim.SubmitNow(job.MapReduceJob())
+			} else {
+				outSim.SubmitNow(job.MapReduceJob())
+			}
+		})
+	}
+	eng.Run()
+
+	results := make([]JobResult, 0, len(jobs))
+	for _, r := range append(upSim.Results(), outSim.Results()...) {
+		d, ok := decisions[r.Job.ID]
+		if !ok {
+			panic(fmt.Sprintf("core: result for unknown job %s", r.Job.ID))
+		}
+		// Target records the scheduler's choice; Ran() derives the
+		// executing cluster when the balancer diverted the job.
+		results = append(results, JobResult{Result: r, Target: d.target, Diverted: d.diverted})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		a, b := results[i], results[j]
+		if a.Submit != b.Submit {
+			return a.Submit < b.Submit
+		}
+		return a.Job.ID < b.Job.ID
+	})
+	return results
+}
+
+// RunBaseline executes the same workload on a single traditional platform
+// (THadoop or RHadoop in §V) under the given slot-sharing policy and
+// returns per-job results.
+func RunBaseline(p *mapreduce.Platform, jobs []workload.Job, policy mapreduce.Policy) []mapreduce.Result {
+	sim := mapreduce.NewSimulator(p)
+	sim.SetPolicy(policy)
+	for _, j := range jobs {
+		sim.Submit(j.MapReduceJob())
+	}
+	return sim.Run()
+}

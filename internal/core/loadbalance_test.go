@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/units"
+	"hybridmr/internal/workload"
+)
+
+func TestNewLoadBalancerValidation(t *testing.T) {
+	if _, err := NewLoadBalancer(0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	if _, err := NewLoadBalancer(-1); err == nil {
+		t.Error("negative factor accepted")
+	}
+	b, err := NewLoadBalancer(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.DivertQueueFactor != 1.0 || b.DivertBothWays {
+		t.Errorf("balancer defaults: %+v", b)
+	}
+}
+
+// The paper's §VII scenario: "if many small jobs arrive at the same time
+// without any large jobs, all the jobs will be scheduled to the scale-up
+// machines, resulting in imbalance". With the balancer, some of that burst
+// runs on the idle scale-out cluster and the burst drains faster.
+func TestBalancerDivertsUnderBurst(t *testing.T) {
+	burst := make([]workload.Job, 120)
+	for i := range burst {
+		burst[i] = workload.Job{
+			ID:         "b" + string(rune('0'+i/100)) + string(rune('0'+(i/10)%10)) + string(rune('0'+i%10)),
+			App:        apps.Grep(),
+			Input:      4 * units.GB, // scale-up targeted, 32 tasks each
+			Submit:     time.Duration(i) * 200 * time.Millisecond,
+			RatioKnown: true,
+		}
+	}
+
+	plain := newHybridT(t)
+	plainRes := plain.Run(burst)
+
+	balanced := newHybridT(t)
+	bal, err := NewLoadBalancer(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced.Balance = bal
+	balRes := balanced.Run(burst)
+
+	var diverted int
+	for _, r := range balRes {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Job.ID, r.Err)
+		}
+		if r.Diverted {
+			diverted++
+			if r.Target != ScaleUp || r.Ran() != ScaleOut {
+				t.Errorf("diverted job %s: target %v ran %v", r.Job.ID, r.Target, r.Ran())
+			}
+		}
+	}
+	if diverted == 0 {
+		t.Fatal("burst of 120 scale-up jobs diverted nothing")
+	}
+	if diverted == len(burst) {
+		t.Fatal("balancer diverted everything")
+	}
+	maxEnd := func(rs []JobResult) time.Duration {
+		var m time.Duration
+		for _, r := range rs {
+			if r.End > m {
+				m = r.End
+			}
+		}
+		return m
+	}
+	if maxEnd(balRes) >= maxEnd(plainRes) {
+		t.Errorf("balanced makespan %v not below plain %v", maxEnd(balRes), maxEnd(plainRes))
+	}
+}
+
+// Without pressure, the balancer never interferes.
+func TestBalancerIdleNoDiversion(t *testing.T) {
+	h := newHybridT(t)
+	bal, _ := NewLoadBalancer(1.0)
+	h.Balance = bal
+	jobs := []workload.Job{
+		{ID: "a", App: apps.Grep(), Input: units.GB, RatioKnown: true},
+		{ID: "b", App: apps.Wordcount(), Input: 64 * units.GB, Submit: time.Minute, RatioKnown: true},
+	}
+	for _, r := range h.Run(jobs) {
+		if r.Diverted {
+			t.Errorf("job %s diverted on an idle cluster", r.Job.ID)
+		}
+	}
+}
+
+// DivertBothWays moves scale-out jobs onto an idle scale-up cluster only
+// when enabled.
+func TestBalancerBothWays(t *testing.T) {
+	up, out := upOutPlatforms(t)
+	eng1 := mapreduce.NewSimulatorOn(mapreduce.NewSimulator(up).Engine(), up)
+	_ = eng1 // direct Divert unit test below instead
+
+	b := &LoadBalancer{DivertQueueFactor: 0.0001}
+	upSim := mapreduce.NewSimulator(up)
+	outSim := mapreduce.NewSimulator(out)
+	// Queue pressure on the out cluster: submit many jobs but don't run.
+	for i := 0; i < 50; i++ {
+		outSim.Submit(mapreduce.Job{ID: string(rune('a' + i)), App: apps.Wordcount(), Input: 64 * units.GB})
+	}
+	outSim.Engine().RunUntil(30 * time.Second)
+	if got := b.Divert(ScaleOut, upSim, outSim); got != ScaleOut {
+		t.Errorf("one-way balancer diverted scale-out job to %v", got)
+	}
+	b.DivertBothWays = true
+	if got := b.Divert(ScaleOut, upSim, outSim); got != ScaleUp {
+		t.Errorf("both-ways balancer kept the job on %v", got)
+	}
+}

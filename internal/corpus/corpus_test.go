@@ -1,0 +1,87 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hybridmr/internal/units"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	data, err := Generate(DefaultConfig(), 32*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if units.Bytes(len(data)) < 32*units.KB {
+		t.Errorf("generated %d bytes, want ≥ %d", len(data), 32*units.KB)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("corpus must end with a newline")
+	}
+	for _, line := range bytes.Split(bytes.TrimRight(data, "\n"), []byte{'\n'}) {
+		for _, w := range bytes.Fields(line) {
+			if !bytes.HasPrefix(w, []byte("w")) {
+				t.Fatalf("unexpected token %q", w)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(DefaultConfig(), 8*units.KB)
+	b, _ := Generate(DefaultConfig(), 8*units.KB)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corpora")
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	c, _ := Generate(cfg, 8*units.KB)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+// Zipf skew: the most frequent word appears far more often than the median.
+func TestGenerateSkew(t *testing.T) {
+	data, _ := Generate(DefaultConfig(), 256*units.KB)
+	counts := map[string]int{}
+	for _, w := range strings.Fields(string(data)) {
+		counts[w]++
+	}
+	top := counts[Word(1)]
+	mid := counts[Word(500)]
+	if top == 0 {
+		t.Fatal("rank-1 word never appeared")
+	}
+	if mid*10 > top {
+		t.Errorf("insufficient skew: top=%d rank-500=%d", top, mid)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(DefaultConfig(), 0); err == nil {
+		t.Error("size 0 accepted")
+	}
+	bad := DefaultConfig()
+	bad.Vocabulary = 0
+	if _, err := Generate(bad, units.KB); err == nil {
+		t.Error("empty vocabulary accepted")
+	}
+	bad = DefaultConfig()
+	bad.WordsPerLine = 0
+	if _, err := Generate(bad, units.KB); err == nil {
+		t.Error("0 words per line accepted")
+	}
+	bad = DefaultConfig()
+	bad.ZipfExponent = -1
+	if _, err := Generate(bad, units.KB); err == nil {
+		t.Error("negative exponent accepted")
+	}
+}
+
+func TestWord(t *testing.T) {
+	if Word(17) != "w000017" {
+		t.Errorf("Word(17) = %q", Word(17))
+	}
+}

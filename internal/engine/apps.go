@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"sync"
+	"time"
+
+	"hybridmr/internal/units"
+)
+
+// WordcountMapper emits (word, "1") for every whitespace-separated token —
+// the paper's shuffle-intensive Wordcount (§III-A).
+type WordcountMapper struct{}
+
+// Map implements Mapper.
+func (WordcountMapper) Map(line []byte, emit func(k, v string)) error {
+	for _, w := range bytes.Fields(line) {
+		emit(string(w), "1")
+	}
+	return nil
+}
+
+// SumReducer adds integer values; it doubles as Wordcount's combiner.
+type SumReducer struct{}
+
+// Reduce implements Reducer.
+func (SumReducer) Reduce(key string, values []string, emit func(k, v string)) error {
+	total := int64(0)
+	for _, v := range values {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("engine: sum reducer: %q: %w", v, err)
+		}
+		total += n
+	}
+	emit(key, strconv.FormatInt(total, 10))
+	return nil
+}
+
+// NewWordcount returns the Wordcount job configuration.
+func NewWordcount(store BlockStore, input, output string, reducers, mapSlots, reduceSlots int) Config {
+	return Config{
+		Name:        "wordcount",
+		Store:       store,
+		Input:       input,
+		Output:      output,
+		Mapper:      WordcountMapper{},
+		Reducer:     SumReducer{},
+		Combiner:    SumReducer{},
+		Reducers:    reducers,
+		MapSlots:    mapSlots,
+		ReduceSlots: reduceSlots,
+	}
+}
+
+// GrepMapper emits (pattern, "1") per matching line — the paper's Grep,
+// whose shuffle is the match set (§III-A).
+type GrepMapper struct {
+	re *regexp.Regexp
+}
+
+// NewGrepMapper compiles the pattern.
+func NewGrepMapper(pattern string) (*GrepMapper, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("engine: grep: %w", err)
+	}
+	return &GrepMapper{re: re}, nil
+}
+
+// Map implements Mapper.
+func (g *GrepMapper) Map(line []byte, emit func(k, v string)) error {
+	if m := g.re.Find(line); m != nil {
+		emit(string(m), "1")
+	}
+	return nil
+}
+
+// NewGrep returns the Grep job configuration.
+func NewGrep(store BlockStore, input, output, pattern string, reducers, mapSlots, reduceSlots int) (Config, error) {
+	m, err := NewGrepMapper(pattern)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Name:        "grep",
+		Store:       store,
+		Input:       input,
+		Output:      output,
+		Mapper:      m,
+		Reducer:     SumReducer{},
+		Combiner:    SumReducer{},
+		Reducers:    reducers,
+		MapSlots:    mapSlots,
+		ReduceSlots: reduceSlots,
+	}, nil
+}
+
+// DFSIOResult reports a write test's outcome.
+type DFSIOResult struct {
+	Files      int
+	FileSize   units.Bytes
+	TotalBytes units.Bytes
+	Wall       time.Duration
+	Throughput units.BytesPerSec
+}
+
+// DFSIOWrite runs the TestDFSIO write test against a store: `files` map
+// "tasks" (bounded by mapSlots workers) each generate and store one file of
+// fileSize bytes, and the aggregated statistics are the single reducer's
+// output — exactly the shape the paper describes in §III-C.
+func DFSIOWrite(store BlockStore, prefix string, files int, fileSize units.Bytes, mapSlots int) (DFSIOResult, error) {
+	if files < 1 {
+		return DFSIOResult{}, fmt.Errorf("engine: dfsio: %d files", files)
+	}
+	if fileSize <= 0 {
+		return DFSIOResult{}, fmt.Errorf("engine: dfsio: file size %d", fileSize)
+	}
+	if mapSlots < 1 {
+		return DFSIOResult{}, fmt.Errorf("engine: dfsio: %d slots", mapSlots)
+	}
+	start := time.Now()
+	sem := make(chan struct{}, mapSlots)
+	var wg sync.WaitGroup
+	var firstErr errOnce
+	for i := 0; i < files; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			data := make([]byte, fileSize)
+			// A cheap deterministic fill; TestDFSIO writes a
+			// repeating pattern too.
+			for j := range data {
+				data[j] = byte('a' + (i+j)%26)
+			}
+			if err := store.Create(fmt.Sprintf("%s-%05d", prefix, i), data); err != nil {
+				firstErr.set(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.get(); err != nil {
+		return DFSIOResult{}, err
+	}
+	wall := time.Since(start)
+	total := units.Bytes(files) * fileSize
+	res := DFSIOResult{Files: files, FileSize: fileSize, TotalBytes: total, Wall: wall}
+	if wall > 0 {
+		res.Throughput = units.BytesPerSec(float64(total) / wall.Seconds())
+	}
+	return res, nil
+}

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"hybridmr/internal/units"
+)
+
+// SortMapper emits (token, "") for every token: with the identity reducer
+// this implements a distributed sort, the S/I ≈ 1 workload between Grep and
+// Wordcount in the scheduler's ratio bands.
+type SortMapper struct{}
+
+// Map implements Mapper.
+func (SortMapper) Map(line []byte, emit func(k, v string)) error {
+	for _, w := range bytes.Fields(line) {
+		emit(string(w), "")
+	}
+	return nil
+}
+
+// IdentityReducer re-emits every (key, value) pair unchanged; the engine's
+// sort-merge step provides the ordering.
+type IdentityReducer struct{}
+
+// Reduce implements Reducer.
+func (IdentityReducer) Reduce(key string, values []string, emit func(k, v string)) error {
+	for _, v := range values {
+		emit(key, v)
+	}
+	return nil
+}
+
+// NewSort returns the distributed-sort job configuration. It runs without a
+// combiner (sorting preserves duplicates).
+func NewSort(store BlockStore, input, output string, reducers, mapSlots, reduceSlots int) Config {
+	return Config{
+		Name:        "sort",
+		Store:       store,
+		Input:       input,
+		Output:      output,
+		Mapper:      SortMapper{},
+		Reducer:     IdentityReducer{},
+		Reducers:    reducers,
+		MapSlots:    mapSlots,
+		ReduceSlots: reduceSlots,
+	}
+}
+
+// DFSIORead runs the TestDFSIO read test: every file written by a prior
+// DFSIOWrite with the same prefix is read back in full by one map "task"
+// (bounded by mapSlots workers), and the aggregate throughput is reported.
+func DFSIORead(store BlockStore, prefix string, mapSlots int) (DFSIOResult, error) {
+	if mapSlots < 1 {
+		return DFSIOResult{}, fmt.Errorf("engine: dfsio-read: %d slots", mapSlots)
+	}
+	var names []string
+	for _, n := range store.List() {
+		if len(n) > len(prefix) && n[:len(prefix)] == prefix {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return DFSIOResult{}, fmt.Errorf("engine: dfsio-read: no files with prefix %q", prefix)
+	}
+	start := time.Now()
+	sem := make(chan struct{}, mapSlots)
+	var wg sync.WaitGroup
+	var firstErr errOnce
+	var total int64
+	var mu sync.Mutex
+	var fileSize units.Bytes
+	for _, name := range names {
+		name := name
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ds, err := store.Open(name)
+			if err != nil {
+				firstErr.set(err)
+				return
+			}
+			buf := make([]byte, ds.Size())
+			if _, err := readFull(ds, buf, 0); err != nil {
+				firstErr.set(fmt.Errorf("engine: dfsio-read %s: %w", name, err))
+				return
+			}
+			// Touch the bytes so the read cannot be elided.
+			var sum byte
+			for _, c := range buf {
+				sum ^= c
+			}
+			_ = sum
+			mu.Lock()
+			total += int64(len(buf))
+			fileSize = ds.Size()
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.get(); err != nil {
+		return DFSIOResult{}, err
+	}
+	wall := time.Since(start)
+	res := DFSIOResult{Files: len(names), FileSize: fileSize, TotalBytes: units.Bytes(total), Wall: wall}
+	if wall > 0 {
+		res.Throughput = units.BytesPerSec(float64(total) / wall.Seconds())
+	}
+	return res, nil
+}
+
+// TopKMapper emits (word, count-of-1) like Wordcount; combined with
+// TopKReducer it produces the k most frequent words — a second-stage job
+// often chained after Wordcount in production pipelines.
+type TopKMapper = WordcountMapper
+
+// TopKReducer keeps only keys whose summed count reaches the threshold —
+// a selective reducer exercising emit-filtering.
+type TopKReducer struct {
+	// MinCount filters the output to words at least this frequent.
+	MinCount int64
+}
+
+// Reduce implements Reducer.
+func (r TopKReducer) Reduce(key string, values []string, emit func(k, v string)) error {
+	var total int64
+	for _, v := range values {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("engine: topk reducer: %q: %w", v, err)
+		}
+		total += n
+	}
+	if total >= r.MinCount {
+		emit(key, strconv.FormatInt(total, 10))
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package engine_test
+
+import (
+	"fmt"
+	"log"
+
+	"hybridmr/internal/engine"
+	"hybridmr/internal/units"
+)
+
+// Running a wordcount on the real engine.
+func ExampleRun() {
+	store, err := engine.NewMemOFS(4, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Create("in", []byte("to be or not to be\nthat is the question\n")); err != nil {
+		log.Fatal(err)
+	}
+	ctr, err := engine.Run(engine.NewWordcount(store, "in", "out", 2, 4, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lines=%d words counted=%d distinct=%d\n",
+		ctr.InputRecords, ctr.MapOutputRecords, ctr.OutputRecords)
+
+	ds, err := store.Open("out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, ds.Size())
+	if _, err := ds.ReadAt(buf, 0); err != nil && ctr.OutputBytes != units.Bytes(len(buf)) {
+		log.Fatal(err)
+	}
+	out, err := engine.ParseOutput(buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("to=%s be=%s question=%s\n", out["to"], out["be"], out["question"])
+	// Output:
+	// lines=2 words counted=10 distinct=8
+	// to=2 be=2 question=1
+}
+
+// The default hash partitioner spreads keys across reducers.
+func ExampleHashPartitioner() {
+	fmt.Println(engine.HashPartitioner("alpha", 4) < 4)
+	fmt.Println(engine.HashPartitioner("alpha", 4) == engine.HashPartitioner("alpha", 4))
+	// Output:
+	// true
+	// true
+}

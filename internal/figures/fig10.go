@@ -1,0 +1,128 @@
+package figures
+
+import (
+	"fmt"
+
+	"hybridmr/internal/core"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/stats"
+	"hybridmr/internal/textplot"
+	"hybridmr/internal/workload"
+)
+
+// TraceResult bundles the §V trace experiment's outcome for reuse by the
+// figure, the CLI and the tests.
+type TraceResult struct {
+	Jobs []workload.Job
+	// UpClass marks job IDs Algorithm 1 routes to the scale-up cluster.
+	UpClass map[string]bool
+	// Hybrid, THadoop and RHadoop hold per-job execution seconds.
+	Hybrid, THadoop, RHadoop map[string]float64
+}
+
+// RunTrace executes the trace experiment: the workload on the hybrid and on
+// the two 24-machine baselines, under the Fair scheduler.
+func RunTrace(cal mapreduce.Calibration, cfg workload.Config) (*TraceResult, error) {
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hybrid, err := core.NewHybrid(cal)
+	if err != nil {
+		return nil, err
+	}
+	th, err := mapreduce.NewTHadoop(cal)
+	if err != nil {
+		return nil, err
+	}
+	rh, err := mapreduce.NewRHadoop(cal)
+	if err != nil {
+		return nil, err
+	}
+	upJobs, _ := hybrid.Sched.Classify(jobs)
+	tr := &TraceResult{
+		Jobs:    jobs,
+		UpClass: make(map[string]bool, len(upJobs)),
+		Hybrid:  make(map[string]float64, len(jobs)),
+		THadoop: make(map[string]float64, len(jobs)),
+		RHadoop: make(map[string]float64, len(jobs)),
+	}
+	for _, j := range upJobs {
+		tr.UpClass[j.ID] = true
+	}
+	for _, r := range hybrid.Run(jobs) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("figures: hybrid job %s: %w", r.Job.ID, r.Err)
+		}
+		tr.Hybrid[r.Job.ID] = r.Exec.Seconds()
+	}
+	for _, r := range core.RunBaseline(th, jobs, mapreduce.Fair) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("figures: THadoop job %s: %w", r.Job.ID, r.Err)
+		}
+		tr.THadoop[r.Job.ID] = r.Exec.Seconds()
+	}
+	for _, r := range core.RunBaseline(rh, jobs, mapreduce.Fair) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("figures: RHadoop job %s: %w", r.Job.ID, r.Err)
+		}
+		tr.RHadoop[r.Job.ID] = r.Exec.Seconds()
+	}
+	return tr, nil
+}
+
+// ClassCDF builds the execution-time CDF of one architecture's results for
+// one job class.
+func (tr *TraceResult) ClassCDF(exec map[string]float64, upClass bool) *stats.CDF {
+	c := stats.NewCDF(nil)
+	for id, e := range exec {
+		if tr.UpClass[id] == upClass {
+			c.Add(e)
+		}
+	}
+	return c
+}
+
+// Fig10 regenerates Figure 10: the CDFs of execution time of scale-up jobs
+// (panel a) and scale-out jobs (panel b) under Hybrid, THadoop and RHadoop.
+func Fig10(cal mapreduce.Calibration, cfg workload.Config) (textplot.Figure, error) {
+	tr, err := RunTrace(cal, cfg)
+	if err != nil {
+		return textplot.Figure{}, err
+	}
+	panel := func(name string, upClass bool) (textplot.Panel, []string) {
+		p := textplot.Panel{Name: name, XLabel: "CDF", YLabel: "execution time (s)"}
+		var notes []string
+		for _, arch := range []struct {
+			name string
+			exec map[string]float64
+		}{
+			{"Hybrid", tr.Hybrid},
+			{"THadoop", tr.THadoop},
+			{"RHadoop", tr.RHadoop},
+		} {
+			cdf := tr.ClassCDF(arch.exec, upClass)
+			var xs, ys []float64
+			for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0} {
+				xs = append(xs, q)
+				ys = append(ys, cdf.Quantile(q))
+			}
+			p.Series = append(p.Series, textplot.Series{Name: arch.name, X: xs, Y: ys, Format: "%.2f"})
+			notes = append(notes, fmt.Sprintf("%s %s max = %.2fs", name, arch.name, cdf.Max()))
+		}
+		return p, notes
+	}
+	a, notesA := panel("a: scale-up jobs", true)
+	b, notesB := panel("b: scale-out jobs", false)
+	fig := textplot.Figure{
+		ID:     "Fig. 10",
+		Title:  "Facebook trace experiment: execution-time CDFs per job class",
+		Panels: []textplot.Panel{a, b},
+		Notes:  append(notesA, notesB...),
+	}
+	fig.Notes = append(fig.Notes,
+		"paper maxima — scale-up jobs: 48.53s (Hybrid), 83.37s (THadoop), 68.17s (RHadoop)",
+		"paper maxima — scale-out jobs: 1207s (Hybrid), 3087s (THadoop), 2734s (RHadoop)",
+		"scale-out-class divergence from the paper is analyzed in EXPERIMENTS.md")
+	return fig, nil
+}

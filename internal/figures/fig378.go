@@ -1,0 +1,144 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/core"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/textplot"
+	"hybridmr/internal/units"
+	"hybridmr/internal/workload"
+)
+
+// Fig3 regenerates Figure 3: the CDF of input data size of the FB-2009-like
+// trace, probed at decade points from 1 B to 1 PB (the paper's x axis runs
+// 1E0 to 1E15).
+func Fig3(cfg workload.Config) (textplot.Figure, error) {
+	// The CDF describes the trace's nominal sizes, before shrinking.
+	cfg.Shrink = 1
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		return textplot.Figure{}, err
+	}
+	cdf := workload.InputCDF(jobs)
+	var xs, ys []float64
+	for e := 0; e <= 15; e++ {
+		x := math.Pow(10, float64(e))
+		xs = append(xs, x)
+		ys = append(ys, cdf.At(x))
+	}
+	below1MB := cdf.At(float64(units.MB))
+	below30GB := cdf.At(float64(30 * units.GB))
+	fig := textplot.Figure{
+		ID:    "Fig. 3",
+		Title: fmt.Sprintf("CDF of input data size in the synthesized FB-2009 trace (%d jobs)", len(jobs)),
+		Panels: []textplot.Panel{{
+			Name:   "input size CDF",
+			XLabel: "input data size (bytes)",
+			YLabel: "CDF",
+			Series: []textplot.Series{{Name: "CDF", X: xs, Y: ys, Format: "%.3f"}},
+		}},
+		Notes: []string{
+			fmt.Sprintf("%.0f%% of jobs below 1 MB (paper: 40%%)", 100*below1MB),
+			fmt.Sprintf("%.0f%% between 1 MB and 30 GB (paper: 49%%)", 100*(below30GB-below1MB)),
+			fmt.Sprintf("%.0f%% above 30 GB (paper: 11%%)", 100*(1-below30GB)),
+		},
+	}
+	return fig, nil
+}
+
+// crossFigure renders the normalized scale-out/scale-up execution-time
+// ratio for a set of applications, with the detected cross points as notes
+// (Figs. 7 and 8's layout).
+func crossFigure(id, title string, profs []apps.Profile, lo, hi units.Bytes, cal mapreduce.Calibration) (textplot.Figure, error) {
+	up, err := mapreduce.NewArch(mapreduce.UpOFS, cal)
+	if err != nil {
+		return textplot.Figure{}, err
+	}
+	out, err := mapreduce.NewArch(mapreduce.OutOFS, cal)
+	if err != nil {
+		return textplot.Figure{}, err
+	}
+	const steps = 40
+	panel := textplot.Panel{
+		Name:   "normalized execution time",
+		XLabel: "input (GB)",
+		YLabel: "exec(out-OFS)/exec(up-OFS)",
+	}
+	var notes []string
+	for _, prof := range profs {
+		pts := core.SweepCrossPoint(up, out, prof, lo, hi, steps)
+		var xs, ys []float64
+		for _, p := range pts {
+			xs = append(xs, p.Input.GiBf())
+			ys = append(ys, p.Ratio)
+		}
+		panel.Series = append(panel.Series, textplot.Series{
+			Name: "out-OFS-" + prof.Name, X: xs, Y: ys, Format: "%.3f",
+		})
+		if cp, ok := core.FindCrossPoint(up, out, prof, lo, hi, 96); ok {
+			notes = append(notes, fmt.Sprintf("%s cross point ≈ %.0f GB (S/I %.2f)", prof.Name, cp.GiBf(), float64(prof.ShuffleInputRatio)))
+		} else {
+			notes = append(notes, fmt.Sprintf("%s: no cross point in range", prof.Name))
+		}
+	}
+	return textplot.Figure{ID: id, Title: title, Panels: []textplot.Panel{panel}, Notes: notes}, nil
+}
+
+// Fig7 regenerates Figure 7: the Wordcount and Grep cross points (paper:
+// ≈32 GB and ≈16 GB).
+func Fig7(cal mapreduce.Calibration) (textplot.Figure, error) {
+	return crossFigure("Fig. 7", "Cross points of Wordcount and Grep",
+		[]apps.Profile{apps.Wordcount(), apps.Grep()},
+		units.GB, 100*units.GB, cal)
+}
+
+// Fig8 regenerates Figure 8: the TestDFSIO write cross point (paper:
+// ≈10 GB).
+func Fig8(cal mapreduce.Calibration) (textplot.Figure, error) {
+	return crossFigure("Fig. 8", "Cross point of the TestDFSIO write test",
+		[]apps.Profile{apps.DFSIOWrite()},
+		units.GB, 30*units.GB, cal)
+}
+
+// Fig4 renders the conceptual cross-point sketch of Figure 4 using real
+// model output: execution time of both clusters against input size for one
+// application, showing where the curves cross.
+func Fig4(cal mapreduce.Calibration) (textplot.Figure, error) {
+	up, err := mapreduce.NewArch(mapreduce.UpOFS, cal)
+	if err != nil {
+		return textplot.Figure{}, err
+	}
+	out, err := mapreduce.NewArch(mapreduce.OutOFS, cal)
+	if err != nil {
+		return textplot.Figure{}, err
+	}
+	prof := apps.Wordcount()
+	var xs, upY, outY []float64
+	for _, gb := range []float64{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128} {
+		job := mapreduce.Job{ID: "fig4", App: prof, Input: units.GiB(gb)}
+		u, o := up.RunIsolated(job), out.RunIsolated(job)
+		if u.Err != nil || o.Err != nil {
+			continue
+		}
+		xs = append(xs, gb)
+		upY = append(upY, u.Exec.Seconds())
+		outY = append(outY, o.Exec.Seconds())
+	}
+	return textplot.Figure{
+		ID:    "Fig. 4",
+		Title: "Cross point (conceptual sketch, drawn with real model output for Wordcount)",
+		Panels: []textplot.Panel{{
+			Name:   "execution time",
+			XLabel: "input (GB)",
+			YLabel: "seconds",
+			Series: []textplot.Series{
+				{Name: "scale-up", X: xs, Y: upY, Format: "%.1f"},
+				{Name: "scale-out", X: xs, Y: outY, Format: "%.1f"},
+			},
+		}},
+		Notes: []string{"below the cross point the scale-up cluster wins; above it the scale-out cluster wins (§I, Fig. 4)"},
+	}, nil
+}

@@ -1,0 +1,182 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation from the simulation models: Table I's architecture matrix,
+// Fig. 3's trace CDF, the measurement study of Figs. 5, 6 and 9, the
+// cross-point plots of Figs. 7 and 8, and the trace experiment of Fig. 10.
+// Each constructor returns plain data (a textplot.Figure or textplot.Table)
+// so the CLI, the benchmarks and the tests share one implementation.
+package figures
+
+import (
+	"fmt"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/cluster"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/textplot"
+	"hybridmr/internal/units"
+)
+
+// ShuffleIntensiveSizesGB is the input grid of Figs. 5 and 6 (§III-B).
+var ShuffleIntensiveSizesGB = []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 448}
+
+// MapIntensiveSizesGB is the input grid of Fig. 9 (§III-C).
+var MapIntensiveSizesGB = []float64{1, 3, 5, 10, 30, 50, 80, 100, 300, 500, 800, 1000}
+
+// Platforms builds the four Table I architectures under one calibration.
+func Platforms(cal mapreduce.Calibration) (map[mapreduce.Arch]*mapreduce.Platform, error) {
+	out := make(map[mapreduce.Arch]*mapreduce.Platform, 4)
+	for _, a := range mapreduce.Arches() {
+		p, err := mapreduce.NewArch(a, cal)
+		if err != nil {
+			return nil, err
+		}
+		out[a] = p
+	}
+	return out, nil
+}
+
+// TableI renders the paper's Table I: the four measured architectures, plus
+// the concrete hardware behind each axis.
+func TableI() textplot.Table {
+	up, out := cluster.ScaleUp2(), cluster.ScaleOut12()
+	desc := func(s cluster.Spec) string {
+		return fmt.Sprintf("%d× %d-core %.2fGHz, %v RAM", s.Machines, s.Machine.Cores, s.Machine.CoreGHz, s.Machine.RAM)
+	}
+	return textplot.Table{
+		ID:     "Table I",
+		Title:  "Four architectures in the measurement study",
+		Header: []string{"", "Scale-up", "Scale-out"},
+		Rows: [][]string{
+			{"OFS", "up-OFS", "out-OFS"},
+			{"HDFS", "up-HDFS", "out-HDFS"},
+			{"hardware", desc(up), desc(out)},
+			{"price (USD)", fmt.Sprintf("%.0f", up.TotalPrice()), fmt.Sprintf("%.0f", out.TotalPrice())},
+		},
+		Notes: []string{
+			"equal-cost clusters: 2 scale-up machines ≙ 12 scale-out machines (§II-C)",
+			"OFS: 32 remote storage servers, 128 MB stripes, Myrinet (§II-D)",
+		},
+	}
+}
+
+// phaseSeries runs one application over a size grid on a set of platforms
+// and returns, per platform, the four phase metrics of §III-A.
+type phaseSeries struct {
+	name                                   string
+	sizesGB                                []float64
+	exec, mapPhase, shufflePhase, redPhase []float64
+	execNorm, mapNorm                      []float64 // normalized by up-OFS
+}
+
+// measure runs the §III sweep: each size on each platform, collecting the
+// paper's four metrics. Sizes a platform rejects (up-HDFS beyond 80 GB) are
+// omitted from that platform's series, exactly as in the paper's plots.
+func measure(p *mapreduce.Platform, prof apps.Profile, sizesGB []float64, norm map[float64]mapreduce.Result) phaseSeries {
+	s := phaseSeries{name: p.Name}
+	for _, gb := range sizesGB {
+		r := p.RunIsolated(mapreduce.Job{ID: "fig", App: prof, Input: units.GiB(gb)})
+		if r.Err != nil {
+			continue
+		}
+		s.sizesGB = append(s.sizesGB, gb)
+		s.exec = append(s.exec, r.Exec.Seconds())
+		s.mapPhase = append(s.mapPhase, r.MapPhase.Seconds())
+		s.shufflePhase = append(s.shufflePhase, r.ShufflePhase.Seconds())
+		s.redPhase = append(s.redPhase, r.ReducePhase.Seconds())
+		if base, ok := norm[gb]; ok && base.Exec > 0 {
+			s.execNorm = append(s.execNorm, r.Exec.Seconds()/base.Exec.Seconds())
+			s.mapNorm = append(s.mapNorm, r.MapPhase.Seconds()/base.MapPhase.Seconds())
+		} else {
+			s.execNorm = append(s.execNorm, 0)
+			s.mapNorm = append(s.mapNorm, 0)
+		}
+	}
+	return s
+}
+
+// normBaseline computes the up-OFS results used as the normalization base
+// (the paper normalizes execution time and map duration by up-OFS, §III-A).
+func normBaseline(up *mapreduce.Platform, prof apps.Profile, sizesGB []float64) map[float64]mapreduce.Result {
+	out := make(map[float64]mapreduce.Result, len(sizesGB))
+	for _, gb := range sizesGB {
+		r := up.RunIsolated(mapreduce.Job{ID: "norm", App: prof, Input: units.GiB(gb)})
+		if r.Err == nil {
+			out[gb] = r
+		}
+	}
+	return out
+}
+
+// measurementFigure builds the four-panel figure of Figs. 5, 6 and 9. With
+// raw set, panels a and b report absolute seconds instead of the paper's
+// up-OFS-normalized values.
+func measurementFigure(id string, prof apps.Profile, sizesGB []float64, cal mapreduce.Calibration, raw bool) (textplot.Figure, error) {
+	plats, err := Platforms(cal)
+	if err != nil {
+		return textplot.Figure{}, err
+	}
+	norm := normBaseline(plats[mapreduce.UpOFS], prof, sizesGB)
+	order := []mapreduce.Arch{mapreduce.OutOFS, mapreduce.UpOFS, mapreduce.OutHDFS, mapreduce.UpHDFS}
+	var all []phaseSeries
+	for _, a := range order {
+		all = append(all, measure(plats[a], prof, sizesGB, norm))
+	}
+	panel := func(name, ylabel string, pick func(phaseSeries) []float64, format string) textplot.Panel {
+		p := textplot.Panel{Name: name, XLabel: "input (GB)", YLabel: ylabel}
+		for _, s := range all {
+			p.Series = append(p.Series, textplot.Series{Name: s.name, X: s.sizesGB, Y: pick(s), Format: format})
+		}
+		return p
+	}
+	panelA := panel("a: execution time (normalized by up-OFS)", "×up-OFS", func(s phaseSeries) []float64 { return s.execNorm }, "%.3f")
+	panelB := panel("b: map phase duration (normalized by up-OFS)", "×up-OFS", func(s phaseSeries) []float64 { return s.mapNorm }, "%.3f")
+	if raw {
+		panelA = panel("a: execution time (s)", "seconds", func(s phaseSeries) []float64 { return s.exec }, "%.1f")
+		panelB = panel("b: map phase duration (s)", "seconds", func(s phaseSeries) []float64 { return s.mapPhase }, "%.1f")
+	}
+	fig := textplot.Figure{
+		ID:    id,
+		Title: fmt.Sprintf("Measurement results of %s (%s)", prof.Name, prof.Class),
+		Panels: []textplot.Panel{
+			panelA,
+			panelB,
+			panel("c: shuffle phase duration (s)", "seconds", func(s phaseSeries) []float64 { return s.shufflePhase }, "%.1f"),
+			panel("d: reduce phase duration (s)", "seconds", func(s phaseSeries) []float64 { return s.redPhase }, "%.1f"),
+		},
+		Notes: []string{
+			fmt.Sprintf("shuffle/input ratio %.2f", float64(prof.ShuffleInputRatio)),
+			"up-HDFS cannot store inputs above ≈80 GB (§III-A) — its series stops there",
+		},
+	}
+	return fig, nil
+}
+
+// Fig5 regenerates Figure 5: the shuffle-intensive Wordcount sweep.
+func Fig5(cal mapreduce.Calibration) (textplot.Figure, error) {
+	return measurementFigure("Fig. 5", apps.Wordcount(), ShuffleIntensiveSizesGB, cal, false)
+}
+
+// Fig5Raw is Fig5 with absolute seconds in panels a and b.
+func Fig5Raw(cal mapreduce.Calibration) (textplot.Figure, error) {
+	return measurementFigure("Fig. 5 (raw)", apps.Wordcount(), ShuffleIntensiveSizesGB, cal, true)
+}
+
+// Fig6 regenerates Figure 6: the shuffle-intensive Grep sweep.
+func Fig6(cal mapreduce.Calibration) (textplot.Figure, error) {
+	return measurementFigure("Fig. 6", apps.Grep(), ShuffleIntensiveSizesGB, cal, false)
+}
+
+// Fig6Raw is Fig6 with absolute seconds in panels a and b.
+func Fig6Raw(cal mapreduce.Calibration) (textplot.Figure, error) {
+	return measurementFigure("Fig. 6 (raw)", apps.Grep(), ShuffleIntensiveSizesGB, cal, true)
+}
+
+// Fig9 regenerates Figure 9: the map-intensive TestDFSIO write sweep.
+func Fig9(cal mapreduce.Calibration) (textplot.Figure, error) {
+	return measurementFigure("Fig. 9", apps.DFSIOWrite(), MapIntensiveSizesGB, cal, false)
+}
+
+// Fig9Raw is Fig9 with absolute seconds in panels a and b.
+func Fig9Raw(cal mapreduce.Calibration) (textplot.Figure, error) {
+	return measurementFigure("Fig. 9 (raw)", apps.DFSIOWrite(), MapIntensiveSizesGB, cal, true)
+}

@@ -1,0 +1,288 @@
+package mapreduce
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/storage"
+	"hybridmr/internal/units"
+)
+
+// fourArches returns the Table I platforms under the default calibration.
+func fourArches(t testing.TB) (upOFS, upHDFS, outOFS, outHDFS *Platform) {
+	t.Helper()
+	cal := DefaultCalibration()
+	mk := func(a Arch) *Platform {
+		p, err := NewArch(a, cal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	return mk(UpOFS), mk(UpHDFS), mk(OutOFS), mk(OutHDFS)
+}
+
+func execSec(t testing.TB, p *Platform, prof apps.Profile, gb float64) float64 {
+	t.Helper()
+	r := p.RunIsolated(Job{ID: "cal", App: prof, Input: units.GiB(gb)})
+	if r.Err != nil {
+		t.Fatalf("%s %s %vGB: %v", p.Name, prof.Name, gb, r.Err)
+	}
+	return r.Exec.Seconds()
+}
+
+// lastUpWinGB sweeps a fine log grid and returns the largest size at which
+// the scale-up platform still beats the scale-out platform (the measured
+// cross point, Figs. 7 and 8).
+func lastUpWinGB(t testing.TB, up, out *Platform, prof apps.Profile, lo, hi float64) float64 {
+	t.Helper()
+	const steps = 80
+	last := -1.0
+	for i := 0; i < steps; i++ {
+		gb := lo * math.Pow(hi/lo, float64(i)/float64(steps-1))
+		job := Job{ID: "cal", App: prof, Input: units.GiB(gb)}
+		u, o := up.RunIsolated(job), out.RunIsolated(job)
+		if u.Err != nil || o.Err != nil {
+			continue
+		}
+		if u.Exec < o.Exec {
+			last = gb
+		}
+	}
+	return last
+}
+
+// §III-B small-job ordering: up-HDFS < up-OFS < out-HDFS < out-OFS in
+// execution time for shuffle-intensive jobs with 0.5–4 GB inputs.
+func TestSmallJobOrdering(t *testing.T) {
+	upOFS, upHDFS, outOFS, outHDFS := fourArches(t)
+	for _, prof := range []apps.Profile{apps.Wordcount(), apps.Grep()} {
+		for _, gb := range []float64{0.5, 1, 2, 4} {
+			uh := execSec(t, upHDFS, prof, gb)
+			uo := execSec(t, upOFS, prof, gb)
+			oh := execSec(t, outHDFS, prof, gb)
+			oo := execSec(t, outOFS, prof, gb)
+			if !(uh < uo && uo < oh && oh < oo) {
+				t.Errorf("%s %vGB: want up-HDFS<up-OFS<out-HDFS<out-OFS, got %.1f %.1f %.1f %.1f",
+					prof.Name, gb, uh, uo, oh, oo)
+			}
+		}
+	}
+}
+
+// §III-B large-job ordering: out-OFS < out-HDFS < up-OFS (up-HDFS cannot
+// even store these datasets).
+func TestLargeJobOrdering(t *testing.T) {
+	upOFS, _, outOFS, outHDFS := fourArches(t)
+	for _, prof := range []apps.Profile{apps.Wordcount(), apps.Grep()} {
+		for _, gb := range []float64{128, 256, 448} {
+			oo := execSec(t, outOFS, prof, gb)
+			oh := execSec(t, outHDFS, prof, gb)
+			uo := execSec(t, upOFS, prof, gb)
+			if !(oo < oh && oh < uo) {
+				t.Errorf("%s %vGB: want out-OFS<out-HDFS<up-OFS, got %.1f %.1f %.1f",
+					prof.Name, gb, oo, oh, uo)
+			}
+		}
+	}
+}
+
+// §III-C: for map-intensive jobs the large ordering is
+// out-OFS < up-OFS < out-HDFS.
+func TestDFSIOLargeOrdering(t *testing.T) {
+	upOFS, _, outOFS, outHDFS := fourArches(t)
+	prof := apps.DFSIOWrite()
+	for _, gb := range []float64{100, 300, 1000} {
+		oo := execSec(t, outOFS, prof, gb)
+		uo := execSec(t, upOFS, prof, gb)
+		oh := execSec(t, outHDFS, prof, gb)
+		if !(oo < uo && uo < oh) {
+			t.Errorf("dfsio %vGB: want out-OFS<up-OFS<out-HDFS, got %.1f %.1f %.1f", gb, oo, uo, oh)
+		}
+	}
+}
+
+// §III-C: the scale-up cluster is best for 1–3 GB write tests.
+func TestDFSIOSmallScaleUpWins(t *testing.T) {
+	upOFS, _, outOFS, _ := fourArches(t)
+	prof := apps.DFSIOWrite()
+	for _, gb := range []float64{1, 2, 3} {
+		uo := execSec(t, upOFS, prof, gb)
+		oo := execSec(t, outOFS, prof, gb)
+		if uo >= oo {
+			t.Errorf("dfsio %vGB: scale-up %.1f should beat scale-out %.1f", gb, uo, oo)
+		}
+	}
+}
+
+// The measured cross points (Figs. 7, 8): Wordcount ≈ 32 GB, Grep ≈ 16 GB,
+// TestDFSIO write ≈ 10 GB, each within ±40 % — the tolerance the
+// near-parallel execution-time curves around the crossing justify.
+func TestCrossPoints(t *testing.T) {
+	upOFS, _, outOFS, _ := fourArches(t)
+	tests := []struct {
+		prof    apps.Profile
+		lo, hi  float64
+		want    float64
+		tol     float64
+		sweepHi float64
+	}{
+		{apps.Wordcount(), 2, 120, 32, 0.40, 120},
+		{apps.Grep(), 1, 80, 16, 0.40, 80},
+		{apps.DFSIOWrite(), 1, 60, 10, 0.40, 60},
+	}
+	for _, tt := range tests {
+		got := lastUpWinGB(t, upOFS, outOFS, tt.prof, tt.lo, tt.sweepHi)
+		if got < 0 {
+			t.Errorf("%s: no cross point found", tt.prof.Name)
+			continue
+		}
+		lo, hi := tt.want*(1-tt.tol), tt.want*(1+tt.tol)
+		if got < lo || got > hi {
+			t.Errorf("%s cross point = %.1fGB, want %.0fGB ±40%% [%.1f, %.1f]",
+				tt.prof.Name, got, tt.want, lo, hi)
+		}
+	}
+}
+
+// §III-B: "the shuffle phase duration is always shorter on scale-up
+// machines than on scale-out machines" — the RAM disk and 8 GB heaps.
+func TestShufflePhaseAlwaysShorterOnScaleUp(t *testing.T) {
+	upOFS, _, outOFS, _ := fourArches(t)
+	for _, prof := range []apps.Profile{apps.Wordcount(), apps.Grep(), apps.Sort()} {
+		for _, gb := range []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 448} {
+			job := Job{ID: "cal", App: prof, Input: units.GiB(gb)}
+			u, o := upOFS.RunIsolated(job), outOFS.RunIsolated(job)
+			if u.Err != nil || o.Err != nil {
+				t.Fatalf("%s %vGB: %v %v", prof.Name, gb, u.Err, o.Err)
+			}
+			if u.ShufflePhase >= o.ShufflePhase {
+				t.Errorf("%s %vGB: scale-up shuffle %.2fs not below scale-out %.2fs",
+					prof.Name, gb, u.ShufflePhase.Seconds(), o.ShufflePhase.Seconds())
+			}
+		}
+	}
+}
+
+// §III-A: "due to the limitation of local disk size, up-HDFS cannot process
+// the jobs with input data size greater than 80GB".
+func TestUpHDFSCapacityCutoff(t *testing.T) {
+	_, upHDFS, _, _ := fourArches(t)
+	ok := upHDFS.RunIsolated(Job{ID: "cal", App: apps.Grep(), Input: 64 * units.GB})
+	if ok.Err != nil {
+		t.Errorf("64GB on up-HDFS should run: %v", ok.Err)
+	}
+	bad := upHDFS.RunIsolated(Job{ID: "cal", App: apps.Grep(), Input: 128 * units.GB})
+	if !errors.Is(bad.Err, storage.ErrCapacity) {
+		t.Errorf("128GB on up-HDFS: err = %v, want ErrCapacity", bad.Err)
+	}
+}
+
+// Scale-up reducers never spill on these workloads (8 GB heap) while
+// scale-out reducers spill once shuffle data outgrows their 1.5 GB heaps —
+// the paper's third small-job mechanism (§III-B).
+func TestSpillAsymmetry(t *testing.T) {
+	upOFS, _, outOFS, _ := fourArches(t)
+	job := Job{ID: "cal", App: apps.Wordcount(), Input: 32 * units.GB}
+	u, o := upOFS.RunIsolated(job), outOFS.RunIsolated(job)
+	if u.Err != nil || o.Err != nil {
+		t.Fatal(u.Err, o.Err)
+	}
+	if u.Spilled {
+		t.Error("scale-up reducers spilled at 32GB despite 8GB heaps")
+	}
+	if !o.Spilled {
+		t.Error("scale-out reducers did not spill at 32GB with 1.5GB heaps")
+	}
+	small := Job{ID: "cal", App: apps.Wordcount(), Input: units.GB}
+	if r := outOFS.RunIsolated(small); r.Err != nil || r.Spilled {
+		t.Errorf("1GB wordcount should not spill on scale-out (err=%v spilled=%v)", r.Err, r.Spilled)
+	}
+}
+
+// Wordcount at 448 GB overflows the scale-up RAM disks (shuffle 716 GB >
+// 2 × 252 GB tmpfs) and degrades — the right edge of Fig. 5(a).
+func TestRAMDiskOverflow(t *testing.T) {
+	upOFS, _, outOFS, _ := fourArches(t)
+	big := upOFS.RunIsolated(Job{ID: "cal", App: apps.Wordcount(), Input: 448 * units.GB})
+	if big.Err != nil {
+		t.Fatal(big.Err)
+	}
+	if !big.ShuffleDegraded {
+		t.Error("448GB wordcount should overflow the scale-up RAM disk")
+	}
+	mid := upOFS.RunIsolated(Job{ID: "cal", App: apps.Wordcount(), Input: 128 * units.GB})
+	if mid.ShuffleDegraded {
+		t.Error("128GB wordcount should fit the RAM disk")
+	}
+	// Scale-out machines have no RAM disk to overflow.
+	o := outOFS.RunIsolated(Job{ID: "cal", App: apps.Wordcount(), Input: 448 * units.GB})
+	if o.ShuffleDegraded {
+		t.Error("scale-out shuffle store is the disk itself; nothing degrades")
+	}
+	// And the overflow should cost real time: up-OFS at 448 GB is well
+	// above out-OFS (the paper's plot shows ≈1.4×).
+	ratio := big.Exec.Seconds() / o.Exec.Seconds()
+	if ratio < 1.15 || ratio > 2.0 {
+		t.Errorf("448GB up/out ratio = %.2f, want within [1.15, 2.0]", ratio)
+	}
+}
+
+// Small-job OFS penalty (§III-B): HDFS beats OFS on the same cluster for
+// 0.5–4 GB inputs, but up-OFS still beats out-HDFS — the paper's argument
+// for why the hybrid can afford the remote file system.
+func TestRemoteFSSmallJobPenaltyAndUpWin(t *testing.T) {
+	upOFS, upHDFS, outOFS, outHDFS := fourArches(t)
+	for _, gb := range []float64{0.5, 1, 2, 4} {
+		prof := apps.Wordcount()
+		if uo, uh := execSec(t, upOFS, prof, gb), execSec(t, upHDFS, prof, gb); uo <= uh {
+			t.Errorf("%vGB: up-OFS %.1f should trail up-HDFS %.1f", gb, uo, uh)
+		}
+		if oo, oh := execSec(t, outOFS, prof, gb), execSec(t, outHDFS, prof, gb); oo <= oh {
+			t.Errorf("%vGB: out-OFS %.1f should trail out-HDFS %.1f", gb, oo, oh)
+		}
+		if uo, oh := execSec(t, upOFS, prof, gb), execSec(t, outHDFS, prof, gb); uo >= oh {
+			t.Errorf("%vGB: up-OFS %.1f should still beat out-HDFS %.1f", gb, uo, oh)
+		}
+	}
+}
+
+// For large jobs OFS beats HDFS on the same cluster (§III-B: 10–40 % shorter
+// map phases; our model reproduces the ordering).
+func TestRemoteFSLargeJobAdvantage(t *testing.T) {
+	upOFS, upHDFS, outOFS, outHDFS := fourArches(t)
+	for _, gb := range []float64{32, 64} {
+		prof := apps.Wordcount()
+		if uo, uh := execSec(t, upOFS, prof, gb), execSec(t, upHDFS, prof, gb); uo >= uh {
+			t.Errorf("%vGB: up-OFS %.1f should beat up-HDFS %.1f", gb, uo, uh)
+		}
+	}
+	for _, gb := range []float64{128, 256} {
+		prof := apps.Wordcount()
+		if oo, oh := execSec(t, outOFS, prof, gb), execSec(t, outHDFS, prof, gb); oo >= oh {
+			t.Errorf("%vGB: out-OFS %.1f should beat out-HDFS %.1f", gb, oo, oh)
+		}
+	}
+}
+
+// Wordcount's higher shuffle/input ratio gives it a higher cross point than
+// Grep, and Grep's higher than TestDFSIO's (§III conclusions: "a larger
+// shuffle size leads to more benefits from the scale-up machines").
+func TestCrossPointOrderingByRatio(t *testing.T) {
+	upOFS, _, outOFS, _ := fourArches(t)
+	wc := lastUpWinGB(t, upOFS, outOFS, apps.Wordcount(), 2, 120)
+	gr := lastUpWinGB(t, upOFS, outOFS, apps.Grep(), 1, 80)
+	df := lastUpWinGB(t, upOFS, outOFS, apps.DFSIOWrite(), 1, 60)
+	if !(wc > gr && wc > df) {
+		t.Errorf("wordcount cross %.1f not above grep %.1f and dfsio %.1f", wc, gr, df)
+	}
+	// Grep (S/I = 0.4) and TestDFSIO (S/I ≈ 0) cross within a few GB of
+	// each other in the paper too (16 vs 10 GB); map-wave granularity at
+	// the 36-slot boundary limits the model's resolution here, so require
+	// only that grep's cross point is not clearly below TestDFSIO's.
+	if gr < 0.9*df {
+		t.Errorf("grep cross %.1f clearly below dfsio cross %.1f", gr, df)
+	}
+}

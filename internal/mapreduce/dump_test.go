@@ -1,0 +1,59 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/units"
+)
+
+// TestDumpSweep prints the model's figures for manual calibration review.
+// Run with: go test ./internal/mapreduce -run DumpSweep -v
+func TestDumpSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dump only")
+	}
+	cal := DefaultCalibration()
+	plats := make([]*Platform, 0, 4)
+	for _, a := range Arches() {
+		plats = append(plats, MustArch(a, cal))
+	}
+	for _, prof := range []apps.Profile{apps.Wordcount(), apps.Grep(), apps.DFSIOWrite()} {
+		fmt.Printf("== %s (S/I=%.2f)\n", prof.Name, float64(prof.ShuffleInputRatio))
+		var sizes []float64
+		if prof.Name == "dfsio-write" {
+			sizes = []float64{1, 3, 5, 10, 30, 50, 80, 100, 300, 500, 800, 1000}
+		} else {
+			sizes = []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 448}
+		}
+		fmt.Printf("%8s %10s %10s %10s %10s | ratio out-OFS/up-OFS\n", "GB", "up-OFS", "up-HDFS", "out-OFS", "out-HDFS")
+		for _, gb := range sizes {
+			job := Job{ID: "j", App: prof, Input: units.GiB(gb)}
+			var exec [4]float64
+			for i, p := range plats {
+				r := p.RunIsolated(job)
+				if r.Err != nil {
+					exec[i] = -1
+					continue
+				}
+				exec[i] = r.Exec.Seconds()
+			}
+			ratio := exec[2] / exec[0]
+			fmt.Printf("%8.1f %10.1f %10.1f %10.1f %10.1f | %.3f\n", gb, exec[0], exec[1], exec[2], exec[3], ratio)
+		}
+		// phase breakdown at two sizes
+		for _, gb := range []float64{8, 64} {
+			job := Job{ID: "j", App: prof, Input: units.GiB(gb)}
+			for _, p := range plats {
+				r := p.RunIsolated(job)
+				if r.Err != nil {
+					fmt.Printf("  %4.0fGB %-8s ERR %v\n", gb, p.Name, r.Err)
+					continue
+				}
+				fmt.Printf("  %4.0fGB %-8s map=%7.1f shuf=%6.1f red=%6.1f waves=%3d spill=%v degr=%v\n",
+					gb, p.Name, r.MapPhase.Seconds(), r.ShufflePhase.Seconds(), r.ReducePhase.Seconds(), r.MapWaves, r.Spilled, r.ShuffleDegraded)
+			}
+		}
+	}
+}

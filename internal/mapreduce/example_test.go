@@ -1,0 +1,38 @@
+package mapreduce_test
+
+import (
+	"fmt"
+	"log"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/units"
+)
+
+// Measuring one job on one of Table I's architectures, as in §III.
+func ExamplePlatform_RunIsolated() {
+	p, err := mapreduce.NewArch(mapreduce.UpOFS, mapreduce.DefaultCalibration())
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := p.RunIsolated(mapreduce.Job{ID: "wc", App: apps.Wordcount(), Input: 2 * units.GB})
+	if r.Err != nil {
+		log.Fatal(r.Err)
+	}
+	fmt.Printf("%s: %d map tasks in %d wave(s), %d reducer(s)\n",
+		r.Platform, r.MapTasks, r.MapWaves, r.Reducers)
+	// Output:
+	// up-OFS: 16 map tasks in 1 wave(s), 4 reducer(s)
+}
+
+// The paper's capacity limit: up-HDFS rejects jobs above ≈80 GB (§III-A).
+func ExamplePlatform_RunIsolated_capacity() {
+	p, err := mapreduce.NewArch(mapreduce.UpHDFS, mapreduce.DefaultCalibration())
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := p.RunIsolated(mapreduce.Job{ID: "big", App: apps.Grep(), Input: 128 * units.GB})
+	fmt.Println(r.Err != nil)
+	// Output:
+	// true
+}

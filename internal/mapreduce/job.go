@@ -1,0 +1,109 @@
+// Package mapreduce simulates Hadoop 1.x MapReduce jobs on the paper's four
+// architectures (Table I: up-OFS, up-HDFS, out-OFS, out-HDFS). A Platform
+// combines a cluster model, a file-system model and a Calibration; it can
+// run a single job in closed form (RunIsolated — the measurement study of
+// §III) or a whole arriving workload on a discrete-event simulator
+// (Simulator — the trace experiment of §V).
+//
+// The model reproduces the paper's four reported metrics per job: execution
+// time, map phase duration, shuffle phase duration and reduce phase
+// duration (§III-A), using the mechanisms the paper identifies as causal:
+// map waves over a fixed slot pool, per-core speed, heap-bounded shuffle
+// buffers that spill to the shuffle store, RAM-disk versus local-disk
+// shuffle stores, and the file systems' contention and latency behaviour.
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/units"
+)
+
+// Job is one MapReduce job to simulate.
+type Job struct {
+	// ID identifies the job in results and traces.
+	ID string
+	// App is the application profile.
+	App apps.Profile
+	// Input is the job's input data size (for TestDFSIO write, the data
+	// volume written).
+	Input units.Bytes
+	// Submit is the arrival time in a trace run; RunIsolated ignores it.
+	Submit time.Duration
+	// Reducers overrides the automatic reducer count when positive.
+	Reducers int
+	// MapTasks overrides the block-derived map-task count when positive.
+	// Production inputs are often many files rather than one, and Hadoop
+	// runs one map per file smaller than a block: FB-2009 jobs average
+	// on the order of a hundred map tasks even at modest byte counts.
+	MapTasks int
+}
+
+// Validate reports job configuration errors.
+func (j Job) Validate() error {
+	if err := j.App.Validate(); err != nil {
+		return err
+	}
+	if j.Input <= 0 {
+		return fmt.Errorf("mapreduce: job %s: input %d", j.ID, j.Input)
+	}
+	if j.Submit < 0 {
+		return fmt.Errorf("mapreduce: job %s: negative submit time", j.ID)
+	}
+	if j.Reducers < 0 {
+		return fmt.Errorf("mapreduce: job %s: negative reducer count", j.ID)
+	}
+	if j.MapTasks < 0 {
+		return fmt.Errorf("mapreduce: job %s: negative map task count", j.ID)
+	}
+	return nil
+}
+
+// Result reports one simulated job's outcome.
+type Result struct {
+	Job Job
+	// Platform names the architecture the job ran on (e.g. "up-OFS").
+	Platform string
+	// Submit, Start and End are simulated timestamps. Start is when the
+	// job began executing (setup done, first map task launched); in a
+	// trace run queueing shows up between Submit and Start and inside
+	// the phases.
+	Submit, Start, End time.Duration
+	// Exec is the paper's execution time: "job ending time minus job
+	// starting time", where starting means submission to the JobTracker
+	// — queueing delay is part of what the user experiences.
+	Exec time.Duration
+	// MapPhase is last map end − first map start (§III-A).
+	MapPhase time.Duration
+	// ShufflePhase is last shuffle end − last map end (§III-A).
+	ShufflePhase time.Duration
+	// ReducePhase is job end − last shuffle end (§III-A).
+	ReducePhase time.Duration
+	// MapTasks, MapWaves, Reducers describe the task layout.
+	MapTasks, MapWaves, Reducers int
+	// Spilled reports whether reducers overflowed their in-memory
+	// shuffle buffers and spilled to the shuffle store.
+	Spilled bool
+	// TaskRetries counts re-executed task attempts under failure
+	// injection.
+	TaskRetries int
+	// ShuffleDegraded reports that shuffle data overflowed the RAM disk
+	// and fell back to the local disk (possible on scale-up machines
+	// with very large jobs).
+	ShuffleDegraded bool
+	// Err is non-nil when the platform rejected the job (e.g. the
+	// paper's up-HDFS cannot store jobs above 80 GB).
+	Err error
+}
+
+// String summarizes the result on one line.
+func (r Result) String() string {
+	if r.Err != nil {
+		return fmt.Sprintf("%s on %s: error: %v", r.Job.ID, r.Platform, r.Err)
+	}
+	return fmt.Sprintf("%s on %s: exec=%.2fs map=%.2fs shuffle=%.2fs reduce=%.2fs waves=%d",
+		r.Job.ID, r.Platform, r.Exec.Seconds(), r.MapPhase.Seconds(),
+		r.ShufflePhase.Seconds(), r.ReducePhase.Seconds(), r.MapWaves)
+}

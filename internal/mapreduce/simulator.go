@@ -1,0 +1,511 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hybridmr/internal/simclock"
+	"hybridmr/internal/stats"
+)
+
+// Policy selects how a cluster's slots are shared among concurrent jobs.
+type Policy int
+
+const (
+	// FIFO serves tasks in job-arrival order — Hadoop 1.x's default
+	// JobQueueTaskScheduler. The paper's isolated measurements (§III)
+	// are policy-independent; FIFO matters only under concurrency.
+	FIFO Policy = iota
+	// Fair shares slots max-min across runnable jobs, like the Fair
+	// Scheduler Facebook ran in production (the paper cites it as [4]).
+	// The §V trace experiment uses it: it is what keeps small jobs
+	// responsive on THadoop while large jobs starve — exactly the
+	// asymmetry Fig. 10 shows.
+	Fair
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Fair:
+		return "fair"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Simulator runs an arriving workload of jobs on one platform, sharing its
+// map and reduce slot pools among concurrent jobs under the configured
+// scheduling policy. Task durations come from the platform's cost model;
+// queueing (the effect the paper blames for THadoop's poor performance in
+// §V) emerges from the slot accounting.
+type Simulator struct {
+	platform *Platform
+	eng      *simclock.Engine
+	policy   Policy
+
+	freeMap, freeRed int
+	capMap, capRed   int
+	setupMaps        int       // map tasks of jobs still in their setup phase
+	active           []*jobRun // jobs with pending or running tasks
+	results          []Result
+	running          int
+	seq              int
+
+	// Failure injection (Hadoop re-executes failed tasks, up to
+	// mapred.map.max.attempts = 4 in 1.x).
+	failureRate float64
+	maxAttempts int
+	failRNG     *stats.RNG
+
+	// Straggler injection: per-attempt duration jitter, plus optional
+	// speculative execution (Hadoop launches a backup attempt for slow
+	// tasks and takes whichever finishes first).
+	jitterFrac  float64
+	speculative bool
+	jitterRNG   *stats.RNG
+
+	// Utilization accounting: slot-seconds integrated over simulated time.
+	lastChange time.Duration
+	mapSlotSec float64
+	redSlotSec float64
+}
+
+// NewSimulator creates an empty FIFO simulator for the platform with its
+// own clock.
+func NewSimulator(p *Platform) *Simulator {
+	return NewSimulatorOn(simclock.New(), p)
+}
+
+// NewSimulatorOn creates a simulator bound to an existing engine, so that
+// several clusters (e.g. the hybrid's scale-up and scale-out halves) share
+// one simulated clock while keeping separate slot pools.
+func NewSimulatorOn(eng *simclock.Engine, p *Platform) *Simulator {
+	return &Simulator{
+		platform: p,
+		eng:      eng,
+		freeMap:  p.Spec.MapSlots(),
+		freeRed:  p.Spec.ReduceSlots(),
+		capMap:   p.Spec.MapSlots(),
+		capRed:   p.Spec.ReduceSlots(),
+	}
+}
+
+// SetPolicy selects the slot-sharing policy; call before Run.
+func (s *Simulator) SetPolicy(p Policy) { s.policy = p }
+
+// InjectFailures makes each task attempt fail with probability rate; a
+// failed attempt occupies its slot for the full task duration and is then
+// re-executed, up to Hadoop 1.x's four attempts — after which the whole job
+// fails. Deterministic per seed. Call before Run.
+func (s *Simulator) InjectFailures(rate float64, seed int64) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("mapreduce: failure rate %v outside [0,1)", rate)
+	}
+	s.failureRate = rate
+	s.maxAttempts = 4
+	s.failRNG = stats.NewRNG(seed)
+	return nil
+}
+
+// attemptFails draws one failure decision.
+func (s *Simulator) attemptFails() bool {
+	return s.failureRate > 0 && s.failRNG.Float64() < s.failureRate
+}
+
+// InjectStragglers gives every task attempt a log-uniform duration jitter
+// in [1/(1+frac), 1+frac] (mean-preserving in log space); with speculate
+// set, attempts jittered beyond the speculation threshold run at the
+// backup's typical speed instead, modelling Hadoop's speculative execution
+// (a backup attempt starts once the original looks slow, and the faster of
+// the two wins). Deterministic per seed. Call before Run.
+func (s *Simulator) InjectStragglers(frac float64, speculate bool, seed int64) error {
+	if frac < 0 || frac > 10 {
+		return fmt.Errorf("mapreduce: straggler fraction %v outside [0,10]", frac)
+	}
+	s.jitterFrac = frac
+	s.speculative = speculate
+	s.jitterRNG = stats.NewRNG(seed)
+	return nil
+}
+
+// jitterDuration applies the straggler model to one attempt's duration.
+func (s *Simulator) jitterDuration(d time.Duration) time.Duration {
+	if s.jitterFrac <= 0 {
+		return d
+	}
+	lo, hi := 1/(1+s.jitterFrac), 1+s.jitterFrac
+	f := s.jitterRNG.LogUniform(lo, hi)
+	if s.speculative {
+		// A backup attempt caps how slow the task can effectively
+		// be: once the original exceeds ~1.3× the typical duration,
+		// the speculative copy (jitter-free, started late) finishes
+		// at about that bound.
+		const speculationCap = 1.3
+		if f > speculationCap {
+			f = speculationCap
+		}
+	}
+	return time.Duration(float64(d) * f)
+}
+
+// Policy returns the slot-sharing policy.
+func (s *Simulator) Policy() Policy { return s.policy }
+
+// Submit schedules a job at its Submit time. It must be called before Run.
+func (s *Simulator) Submit(job Job) {
+	s.running++
+	s.eng.At(job.Submit, func(now time.Duration) { s.startJob(job, now) })
+}
+
+// SubmitAll submits every job in the slice.
+func (s *Simulator) SubmitAll(jobs []Job) {
+	for _, j := range jobs {
+		s.Submit(j)
+	}
+}
+
+// SubmitNow schedules a job at the current simulated time, for use from
+// inside another event (the hybrid scheduler decides at arrival time).
+func (s *Simulator) SubmitNow(job Job) {
+	job.Submit = s.eng.Now()
+	s.Submit(job)
+}
+
+// Run executes the workload to completion and returns the per-job results
+// ordered by submission time (ties by job ID).
+func (s *Simulator) Run() []Result {
+	s.eng.Run()
+	return s.Results()
+}
+
+// Results returns the finished jobs' results, sorted by submission time
+// (ties by job ID). It panics if the engine was drained with jobs still in
+// flight — a model bug, not a workload condition.
+func (s *Simulator) Results() []Result {
+	if s.eng.Pending() == 0 && s.running != 0 {
+		panic(fmt.Sprintf("mapreduce: %d jobs still running after drain", s.running))
+	}
+	sort.Slice(s.results, func(i, j int) bool {
+		a, b := s.results[i], s.results[j]
+		if a.Submit != b.Submit {
+			return a.Submit < b.Submit
+		}
+		return a.Job.ID < b.Job.ID
+	})
+	return s.results
+}
+
+// Engine exposes the simulated clock, for tests and shared-clock setups.
+func (s *Simulator) Engine() *simclock.Engine { return s.eng }
+
+// MapQueueDepth reports map tasks waiting for a slot right now, including
+// tasks of jobs still in their setup phase; the load balancer extension
+// uses it.
+func (s *Simulator) MapQueueDepth() int {
+	n := s.setupMaps
+	for _, r := range s.active {
+		n += len(r.pendingMapIDs)
+	}
+	return n
+}
+
+// MapSlotsInUse reports currently occupied map slots.
+func (s *Simulator) MapSlotsInUse() int { return s.capMap - s.freeMap }
+
+// MapSlotCapacity reports the cluster's total map slots.
+func (s *Simulator) MapSlotCapacity() int { return s.capMap }
+
+// accrue integrates busy slot-seconds up to the current instant; call
+// before any slot-count change.
+func (s *Simulator) accrue(now time.Duration) {
+	dt := (now - s.lastChange).Seconds()
+	if dt > 0 {
+		s.mapSlotSec += dt * float64(s.capMap-s.freeMap)
+		s.redSlotSec += dt * float64(s.capRed-s.freeRed)
+		s.lastChange = now
+	}
+}
+
+// Utilization reports the time-averaged busy fraction of the map and reduce
+// slot pools over [0, Engine().Now()]. Call after Run.
+func (s *Simulator) Utilization() (mapUtil, redUtil float64) {
+	s.accrue(s.eng.Now())
+	total := s.eng.Now().Seconds()
+	if total <= 0 {
+		return 0, 0
+	}
+	return s.mapSlotSec / (total * float64(s.capMap)),
+		s.redSlotSec / (total * float64(s.capRed))
+}
+
+// jobRun tracks one in-flight job.
+type jobRun struct {
+	job    Job
+	pl     plan
+	seq    int // submission order, for FIFO and tie-breaks
+	submit time.Duration
+	start  time.Duration
+
+	pendingMapIDs, pendingRedIDs []int // logical task indices awaiting a slot
+	runningMaps, runningReds     int
+	mapsDone, redsDone           int
+	shuffling                    bool
+	attempts                     map[int]int // failed attempts per logical task
+	failed                       bool
+	retries                      int
+
+	firstMapAt  time.Duration
+	startedMap  bool
+	lastMapDone time.Duration
+	shuffleDone time.Duration
+}
+
+func (s *Simulator) startJob(job Job, now time.Duration) {
+	pl, err := s.platform.planJob(job)
+	if err != nil {
+		s.finish(Result{Job: job, Platform: s.platform.Name, Submit: job.Submit, Err: err})
+		return
+	}
+	s.seq++
+	run := &jobRun{job: job, pl: pl, seq: s.seq, submit: job.Submit}
+	// Job setup (staging, setup task) precedes the first map launch.
+	s.setupMaps += pl.mapTasks
+	s.eng.After(pl.overhead, func(now time.Duration) {
+		s.setupMaps -= pl.mapTasks
+		run.start = now
+		run.pendingMapIDs = taskIDs(0, pl.mapTasks)
+		s.active = append(s.active, run)
+		s.dispatch(now)
+	})
+}
+
+// pickMap selects the next job to grant a map slot: FIFO takes the oldest
+// job with pending maps; Fair takes the job with the fewest running maps
+// (max-min fairness, ties to the oldest).
+func (s *Simulator) pickMap() *jobRun {
+	var best *jobRun
+	for _, r := range s.active {
+		if len(r.pendingMapIDs) == 0 {
+			continue
+		}
+		if best == nil {
+			best = r
+			continue
+		}
+		switch s.policy {
+		case Fair:
+			if r.runningMaps < best.runningMaps ||
+				(r.runningMaps == best.runningMaps && r.seq < best.seq) {
+				best = r
+			}
+		default: // FIFO
+			if r.seq < best.seq {
+				best = r
+			}
+		}
+	}
+	return best
+}
+
+// pickReduce is the reduce-slot analogue of pickMap.
+func (s *Simulator) pickReduce() *jobRun {
+	var best *jobRun
+	for _, r := range s.active {
+		if len(r.pendingRedIDs) == 0 {
+			continue
+		}
+		if best == nil {
+			best = r
+			continue
+		}
+		switch s.policy {
+		case Fair:
+			if r.runningReds < best.runningReds ||
+				(r.runningReds == best.runningReds && r.seq < best.seq) {
+				best = r
+			}
+		default:
+			if r.seq < best.seq {
+				best = r
+			}
+		}
+	}
+	return best
+}
+
+// dispatch hands out free slots until none remain or nothing is runnable.
+func (s *Simulator) dispatch(now time.Duration) {
+	for s.freeMap > 0 {
+		run := s.pickMap()
+		if run == nil {
+			break
+		}
+		s.startMapTask(run, now)
+	}
+	for s.freeRed > 0 {
+		run := s.pickReduce()
+		if run == nil {
+			break
+		}
+		s.startReduceTask(run, now)
+	}
+}
+
+func (s *Simulator) startMapTask(run *jobRun, now time.Duration) {
+	s.accrue(now)
+	s.freeMap--
+	taskID := run.pendingMapIDs[len(run.pendingMapIDs)-1]
+	run.pendingMapIDs = run.pendingMapIDs[:len(run.pendingMapIDs)-1]
+	run.runningMaps++
+	if !run.startedMap {
+		run.startedMap = true
+		run.firstMapAt = now
+	}
+	s.eng.After(s.jitterDuration(run.pl.mapTask), func(now time.Duration) {
+		s.accrue(now)
+		s.freeMap++
+		run.runningMaps--
+		if s.attemptFails() && !run.failed {
+			if s.recordFailure(run, taskID) {
+				// Re-execute: the task goes back to pending.
+				run.pendingMapIDs = append(run.pendingMapIDs, taskID)
+				run.retries++
+				s.dispatch(now)
+				return
+			}
+			s.failJob(run, now, "map")
+			s.dispatch(now)
+			return
+		}
+		if run.failed {
+			s.dispatch(now)
+			return
+		}
+		run.mapsDone++
+		if run.mapsDone == run.pl.mapTasks {
+			run.lastMapDone = now
+			run.shuffling = true
+			s.eng.After(run.pl.shuffle, func(now time.Duration) {
+				run.shuffling = false
+				run.shuffleDone = now
+				// Reduce task ids follow the map ids.
+				run.pendingRedIDs = taskIDs(run.pl.mapTasks, run.pl.reducers)
+				s.dispatch(now)
+			})
+		}
+		s.dispatch(now)
+	})
+}
+
+func (s *Simulator) startReduceTask(run *jobRun, now time.Duration) {
+	s.accrue(now)
+	s.freeRed--
+	taskID := run.pendingRedIDs[len(run.pendingRedIDs)-1]
+	run.pendingRedIDs = run.pendingRedIDs[:len(run.pendingRedIDs)-1]
+	run.runningReds++
+	s.eng.After(s.jitterDuration(run.pl.redTask), func(now time.Duration) {
+		s.accrue(now)
+		s.freeRed++
+		run.runningReds--
+		if s.attemptFails() && !run.failed {
+			if s.recordFailure(run, taskID) {
+				run.pendingRedIDs = append(run.pendingRedIDs, taskID)
+				run.retries++
+				s.dispatch(now)
+				return
+			}
+			s.failJob(run, now, "reduce")
+			s.dispatch(now)
+			return
+		}
+		if run.failed {
+			s.dispatch(now)
+			return
+		}
+		run.redsDone++
+		if run.redsDone == run.pl.reducers {
+			s.completeJob(run, now)
+		}
+		s.dispatch(now)
+	})
+}
+
+// taskIDs returns the id range [base, base+n).
+func taskIDs(base, n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = base + i
+	}
+	return ids
+}
+
+// recordFailure counts one failed attempt of a task and reports whether the
+// task may retry.
+func (s *Simulator) recordFailure(run *jobRun, taskID int) bool {
+	if run.attempts == nil {
+		run.attempts = make(map[int]int)
+	}
+	run.attempts[taskID]++
+	return run.attempts[taskID] < s.maxAttempts
+}
+
+// failJob marks the job failed; its remaining tasks are dropped and the
+// result carries the error, like a JobTracker-reported task failure.
+func (s *Simulator) failJob(run *jobRun, now time.Duration, phase string) {
+	if run.failed {
+		return
+	}
+	run.failed = true
+	run.pendingMapIDs = nil
+	run.pendingRedIDs = nil
+	for i, r := range s.active {
+		if r == run {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	s.finish(Result{
+		Job:      run.job,
+		Platform: s.platform.Name,
+		Submit:   run.submit,
+		Start:    run.start,
+		End:      now,
+		Exec:     now - run.submit,
+		Err:      fmt.Errorf("mapreduce: job %s: %s task exceeded %d attempts", run.job.ID, phase, s.maxAttempts),
+	})
+}
+
+func (s *Simulator) completeJob(run *jobRun, end time.Duration) {
+	for i, r := range s.active {
+		if r == run {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	s.finish(Result{
+		Job:             run.job,
+		Platform:        s.platform.Name,
+		Submit:          run.submit,
+		Start:           run.start,
+		End:             end,
+		Exec:            end - run.submit,
+		MapPhase:        run.lastMapDone - run.firstMapAt,
+		ShufflePhase:    run.shuffleDone - run.lastMapDone,
+		ReducePhase:     end - run.shuffleDone,
+		MapTasks:        run.pl.mapTasks,
+		MapWaves:        run.pl.mapWaves,
+		Reducers:        run.pl.reducers,
+		Spilled:         run.pl.spilled,
+		ShuffleDegraded: run.pl.degraded,
+		TaskRetries:     run.retries,
+	})
+}
+
+func (s *Simulator) finish(r Result) {
+	s.results = append(s.results, r)
+	s.running--
+}

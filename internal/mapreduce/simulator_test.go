@@ -1,0 +1,168 @@
+package mapreduce
+
+import (
+	"testing"
+	"time"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/units"
+)
+
+// An isolated job through the event simulator must match RunIsolated's
+// closed form exactly — same cost model, two evaluation strategies.
+func TestSimulatorMatchesClosedForm(t *testing.T) {
+	upOFS, _, outOFS, outHDFS := fourArches(t)
+	jobs := []Job{
+		{ID: "a", App: apps.Wordcount(), Input: 2 * units.GB},
+		{ID: "b", App: apps.Grep(), Input: 32 * units.GB},
+		{ID: "c", App: apps.DFSIOWrite(), Input: 10 * units.GB},
+		{ID: "d", App: apps.Sort(), Input: 64 * units.GB},
+		{ID: "e", App: apps.Wordcount(), Input: 100 * units.KB},
+	}
+	for _, p := range []*Platform{upOFS, outOFS, outHDFS} {
+		for _, job := range jobs {
+			want := p.RunIsolated(job)
+			sim := NewSimulator(p)
+			sim.Submit(job)
+			got := sim.Run()
+			if len(got) != 1 {
+				t.Fatalf("%s %s: %d results", p.Name, job.ID, len(got))
+			}
+			r := got[0]
+			if r.Err != nil {
+				t.Fatalf("%s %s: %v", p.Name, job.ID, r.Err)
+			}
+			if r.Exec != want.Exec {
+				t.Errorf("%s %s: sim exec %v != closed form %v", p.Name, job.ID, r.Exec, want.Exec)
+			}
+			if r.MapPhase != want.MapPhase {
+				t.Errorf("%s %s: sim map %v != closed form %v", p.Name, job.ID, r.MapPhase, want.MapPhase)
+			}
+			if r.ShufflePhase != want.ShufflePhase {
+				t.Errorf("%s %s: sim shuffle %v != %v", p.Name, job.ID, r.ShufflePhase, want.ShufflePhase)
+			}
+			if r.ReducePhase != want.ReducePhase {
+				t.Errorf("%s %s: sim reduce %v != %v", p.Name, job.ID, r.ReducePhase, want.ReducePhase)
+			}
+		}
+	}
+}
+
+// Concurrent jobs contend for slots: two identical jobs submitted together
+// finish no earlier than either alone, and a cluster-filling job delays a
+// small job behind it (the §V THadoop effect).
+func TestSimulatorQueueing(t *testing.T) {
+	_, _, outOFS, _ := fourArches(t)
+	small := Job{ID: "small", App: apps.Grep(), Input: units.GB}
+	big := Job{ID: "big", App: apps.Wordcount(), Input: 64 * units.GB}
+
+	alone := NewSimulator(outOFS)
+	alone.Submit(small)
+	soloExec := alone.Run()[0].Exec
+
+	sim := NewSimulator(outOFS)
+	bigFirst := big
+	bigFirst.Submit = 0
+	late := small
+	late.Submit = 5 * time.Second // arrives while the big job owns the slots
+	sim.SubmitAll([]Job{bigFirst, late})
+	res := sim.Run()
+	var smallRes Result
+	for _, r := range res {
+		if r.Job.ID == "small" {
+			smallRes = r
+		}
+	}
+	if smallRes.Exec <= soloExec {
+		t.Errorf("queued small job exec %v not above solo %v", smallRes.Exec, soloExec)
+	}
+}
+
+// Results come back sorted by submission time.
+func TestSimulatorResultOrder(t *testing.T) {
+	_, _, outOFS, _ := fourArches(t)
+	sim := NewSimulator(outOFS)
+	for i, d := range []time.Duration{30 * time.Second, 0, 10 * time.Second} {
+		sim.Submit(Job{ID: string(rune('a' + i)), App: apps.Grep(), Input: units.GB, Submit: d})
+	}
+	res := sim.Run()
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Submit < res[i-1].Submit {
+			t.Errorf("results unsorted: %v before %v", res[i-1].Submit, res[i].Submit)
+		}
+	}
+	if res[0].Job.ID != "b" || res[1].Job.ID != "c" || res[2].Job.ID != "a" {
+		t.Errorf("order = %s %s %s", res[0].Job.ID, res[1].Job.ID, res[2].Job.ID)
+	}
+}
+
+// A rejected job (up-HDFS capacity) still yields a result with Err set, and
+// the simulator drains.
+func TestSimulatorRejectedJob(t *testing.T) {
+	_, upHDFS, _, _ := fourArches(t)
+	sim := NewSimulator(upHDFS)
+	sim.Submit(Job{ID: "huge", App: apps.Grep(), Input: 200 * units.GB})
+	sim.Submit(Job{ID: "ok", App: apps.Grep(), Input: units.GB})
+	res := sim.Run()
+	if len(res) != 2 {
+		t.Fatalf("%d results", len(res))
+	}
+	var errs, oks int
+	for _, r := range res {
+		if r.Err != nil {
+			errs++
+		} else {
+			oks++
+		}
+	}
+	if errs != 1 || oks != 1 {
+		t.Errorf("errs=%d oks=%d, want 1/1", errs, oks)
+	}
+}
+
+// Throughput sanity: N identical one-wave jobs on an otherwise empty
+// cluster pipeline through the slot pools; makespan grows roughly linearly
+// once the cluster saturates.
+func TestSimulatorSaturation(t *testing.T) {
+	_, _, outOFS, _ := fourArches(t)
+	makespan := func(n int) time.Duration {
+		sim := NewSimulator(outOFS)
+		for i := 0; i < n; i++ {
+			sim.Submit(Job{ID: string(rune('a' + i)), App: apps.Grep(), Input: 8 * units.GB})
+		}
+		res := sim.Run()
+		var last time.Duration
+		for _, r := range res {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			if r.End > last {
+				last = r.End
+			}
+		}
+		return last
+	}
+	m1, m4 := makespan(1), makespan(4)
+	if m4 <= m1 {
+		t.Errorf("4-job makespan %v not above 1-job %v", m4, m1)
+	}
+	if m4 > 5*m1 {
+		t.Errorf("4-job makespan %v more than 5× 1-job %v — no pipelining?", m4, m1)
+	}
+}
+
+func TestSimulatorEngineExposed(t *testing.T) {
+	_, _, outOFS, _ := fourArches(t)
+	sim := NewSimulator(outOFS)
+	if sim.Engine() == nil {
+		t.Fatal("nil engine")
+	}
+	sim.Submit(Job{ID: "x", App: apps.Grep(), Input: units.GB})
+	sim.Run()
+	if sim.Engine().Events() == 0 {
+		t.Error("no events executed")
+	}
+}

@@ -1,0 +1,87 @@
+package mapreduce
+
+import (
+	"testing"
+	"time"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/units"
+)
+
+func TestInjectStragglersValidation(t *testing.T) {
+	sim := NewSimulator(MustArch(OutOFS, DefaultCalibration()))
+	if err := sim.InjectStragglers(-0.1, false, 1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if err := sim.InjectStragglers(11, false, 1); err == nil {
+		t.Error("fraction 11 accepted")
+	}
+	if err := sim.InjectStragglers(0.5, true, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func stragglerExec(t *testing.T, frac float64, speculate bool, seed int64) time.Duration {
+	t.Helper()
+	p := MustArch(OutOFS, DefaultCalibration())
+	sim := NewSimulator(p)
+	if frac > 0 {
+		if err := sim.InjectStragglers(frac, speculate, seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Submit(Job{ID: "j", App: apps.Grep(), Input: 32 * units.GB})
+	r := sim.Run()[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	return r.Exec
+}
+
+// Stragglers stretch the map phase (a wave ends with its slowest task);
+// speculative execution claws most of that back — the Hadoop behaviour the
+// jitter model reproduces.
+func TestStragglersAndSpeculation(t *testing.T) {
+	clean := stragglerExec(t, 0, false, 0)
+	slow := stragglerExec(t, 1.0, false, 3)
+	spec := stragglerExec(t, 1.0, true, 3)
+	if slow <= clean {
+		t.Errorf("stragglers did not slow the job: %v vs %v", slow, clean)
+	}
+	if spec >= slow {
+		t.Errorf("speculation did not help: %v vs %v", spec, slow)
+	}
+	// Speculation bounds the tail near 1.3× the per-wave duration.
+	if spec > clean*3/2 {
+		t.Errorf("speculative exec %v too far above clean %v", spec, clean)
+	}
+}
+
+// Jitter is deterministic per seed.
+func TestStragglersDeterministic(t *testing.T) {
+	a := stragglerExec(t, 0.8, false, 9)
+	b := stragglerExec(t, 0.8, false, 9)
+	if a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+// Jitter composes with failure injection.
+func TestStragglersWithFailures(t *testing.T) {
+	p := MustArch(OutOFS, DefaultCalibration())
+	sim := NewSimulator(p)
+	if err := sim.InjectStragglers(0.5, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectFailures(0.05, 2); err != nil {
+		t.Fatal(err)
+	}
+	sim.Submit(Job{ID: "j", App: apps.Wordcount(), Input: 16 * units.GB})
+	r := sim.Run()[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Exec <= 0 {
+		t.Error("non-positive exec")
+	}
+}

@@ -1,0 +1,95 @@
+// Package netmodel models the cluster interconnect. The paper's testbed
+// uses 10 Gbps Myrinet everywhere — compute nodes, the namenode and the 32
+// OrangeFS servers — and credits its low protocol overhead for OFS's I/O
+// performance (§II-D). The fabric model provides per-node and bisection
+// bandwidth plus a base message latency; an Ethernet preset exists for
+// ablations showing how the paper's conclusions shift on a slower fabric.
+package netmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hybridmr/internal/units"
+)
+
+// Fabric describes one interconnect.
+type Fabric struct {
+	// Name identifies the fabric.
+	Name string
+	// PerNodeBW is each host's link bandwidth.
+	PerNodeBW units.BytesPerSec
+	// Latency is the base one-way message latency.
+	Latency time.Duration
+	// BisectionFactor scales the aggregate bandwidth available when all
+	// nodes communicate at once: 1.0 is full bisection (Myrinet's Clos
+	// topology), below 1 models oversubscription.
+	BisectionFactor float64
+}
+
+// Myrinet10G returns the Palmetto fabric: 10 Gbps, full bisection, µs-scale
+// latency.
+func Myrinet10G() Fabric {
+	return Fabric{
+		Name:            "myrinet-10g",
+		PerNodeBW:       units.GBps(1.25),
+		Latency:         30 * time.Microsecond,
+		BisectionFactor: 1.0,
+	}
+}
+
+// Ethernet1G returns a commodity 1 GbE fabric with 4:1 oversubscription,
+// for ablations.
+func Ethernet1G() Fabric {
+	return Fabric{
+		Name:            "ethernet-1g",
+		PerNodeBW:       units.MBps(118),
+		Latency:         200 * time.Microsecond,
+		BisectionFactor: 0.25,
+	}
+}
+
+// Validate reports configuration errors.
+func (f Fabric) Validate() error {
+	switch {
+	case f.Name == "":
+		return fmt.Errorf("netmodel: fabric has no name")
+	case f.PerNodeBW <= 0:
+		return fmt.Errorf("netmodel: %s: non-positive link bandwidth", f.Name)
+	case f.Latency < 0:
+		return fmt.Errorf("netmodel: %s: negative latency", f.Name)
+	case f.BisectionFactor <= 0 || f.BisectionFactor > 1:
+		return fmt.Errorf("netmodel: %s: bisection factor %v outside (0,1]", f.Name, f.BisectionFactor)
+	}
+	return nil
+}
+
+// Aggregate returns the bandwidth available when n nodes transmit
+// concurrently: n links discounted by the bisection factor.
+func (f Fabric) Aggregate(n int) units.BytesPerSec {
+	if n < 1 {
+		return 0
+	}
+	return units.BytesPerSec(float64(f.PerNodeBW) * float64(n) * f.BisectionFactor)
+}
+
+// ShareAmong returns one stream's bandwidth when k streams share a node's
+// link; fewer than one stream still gets the full link.
+func (f Fabric) ShareAmong(k float64) units.BytesPerSec {
+	if k < 1 {
+		k = 1
+	}
+	return units.BytesPerSec(float64(f.PerNodeBW) / k)
+}
+
+// TransferTime returns the time to move b bytes across the fabric using n
+// sending nodes, including the base latency. With no senders the transfer
+// never completes (the maximum representable duration).
+func (f Fabric) TransferTime(b units.Bytes, n int) time.Duration {
+	t := units.Transfer(b, f.Aggregate(n))
+	if int64(t) > math.MaxInt64-int64(f.Latency) {
+		return time.Duration(math.MaxInt64)
+	}
+	return f.Latency + t
+}

@@ -1,0 +1,84 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+
+	"hybridmr/internal/units"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, f := range []Fabric{Myrinet10G(), Ethernet1G()} {
+		if err := f.Validate(); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+	}
+	if Myrinet10G().PerNodeBW != units.GBps(1.25) {
+		t.Error("Myrinet should be 10 Gbps = 1.25 GB/s")
+	}
+	if Ethernet1G().PerNodeBW >= Myrinet10G().PerNodeBW {
+		t.Error("Ethernet preset should be slower than Myrinet")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mut := func(f func(*Fabric)) Fabric {
+		fab := Myrinet10G()
+		f(&fab)
+		return fab
+	}
+	cases := []struct {
+		name string
+		fab  Fabric
+	}{
+		{"no name", mut(func(f *Fabric) { f.Name = "" })},
+		{"no bw", mut(func(f *Fabric) { f.PerNodeBW = 0 })},
+		{"negative latency", mut(func(f *Fabric) { f.Latency = -time.Second })},
+		{"zero bisection", mut(func(f *Fabric) { f.BisectionFactor = 0 })},
+		{"bisection > 1", mut(func(f *Fabric) { f.BisectionFactor = 1.5 })},
+	}
+	for _, tt := range cases {
+		if err := tt.fab.Validate(); err == nil {
+			t.Errorf("%s: accepted", tt.name)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	m := Myrinet10G()
+	if got := m.Aggregate(12); got != units.GBps(1.25)*12 {
+		t.Errorf("Aggregate(12) = %v", got)
+	}
+	if got := m.Aggregate(0); got != 0 {
+		t.Errorf("Aggregate(0) = %v", got)
+	}
+	e := Ethernet1G()
+	// Oversubscription discounts the aggregate.
+	if got := e.Aggregate(4); got != units.BytesPerSec(float64(e.PerNodeBW)*4*0.25) {
+		t.Errorf("oversubscribed Aggregate = %v", got)
+	}
+}
+
+func TestShareAmong(t *testing.T) {
+	m := Myrinet10G()
+	if got := m.ShareAmong(0.5); got != m.PerNodeBW {
+		t.Errorf("sub-unit share = %v, want full link", got)
+	}
+	if got := m.ShareAmong(5); got != m.PerNodeBW/5 {
+		t.Errorf("ShareAmong(5) = %v", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	m := Myrinet10G()
+	// 12.5 GB over 10 nodes at 12.5 GB/s aggregate ≈ 1 s + latency.
+	got := m.TransferTime(units.Bytes(12.5*float64(units.GB)), 10)
+	want := time.Second + m.Latency
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Errorf("TransferTime = %v, want ≈%v", got, want)
+	}
+	if got := m.TransferTime(units.GB, 0); got < time.Hour*24*365 {
+		// zero nodes → zero bandwidth → effectively infinite
+		t.Errorf("TransferTime with 0 nodes = %v, want huge", got)
+	}
+}

@@ -1,0 +1,71 @@
+package simclock
+
+import "fmt"
+
+// Pool is a counting resource (e.g. a cluster's map or reduce slots) in
+// simulated time. Acquire requests run FIFO: this mirrors Hadoop 1.x's
+// default FIFO scheduler, which the paper's clusters use.
+type Pool struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []Event
+	// peak tracks the maximum concurrent occupancy, for utilization reports.
+	peak int
+}
+
+// NewPool creates a pool of the given capacity bound to the engine.
+func NewPool(e *Engine, capacity int) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simclock: pool capacity %d", capacity))
+	}
+	return &Pool{eng: e, capacity: capacity}
+}
+
+// Capacity returns the pool size.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// InUse returns the number of currently held slots.
+func (p *Pool) InUse() int { return p.inUse }
+
+// Queued returns the number of acquire requests waiting for a slot.
+func (p *Pool) Queued() int { return len(p.waiters) }
+
+// Peak returns the maximum concurrent occupancy observed.
+func (p *Pool) Peak() int { return p.peak }
+
+// Acquire requests one slot; fn runs (as a scheduled event) once the slot is
+// granted. The caller must eventually call Release exactly once per grant.
+func (p *Pool) Acquire(fn Event) {
+	if fn == nil {
+		panic("simclock: nil acquire callback")
+	}
+	if p.inUse < p.capacity {
+		p.grant(fn)
+		return
+	}
+	p.waiters = append(p.waiters, fn)
+}
+
+func (p *Pool) grant(fn Event) {
+	p.inUse++
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	p.eng.After(0, fn)
+}
+
+// Release returns one slot; the oldest waiter, if any, is granted it.
+func (p *Pool) Release() {
+	if p.inUse <= 0 {
+		panic("simclock: Release without Acquire")
+	}
+	p.inUse--
+	if len(p.waiters) > 0 {
+		fn := p.waiters[0]
+		// Shift rather than re-slice forever to keep memory bounded.
+		copy(p.waiters, p.waiters[1:])
+		p.waiters = p.waiters[:len(p.waiters)-1]
+		p.grant(fn)
+	}
+}

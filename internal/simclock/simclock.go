@@ -1,0 +1,117 @@
+// Package simclock implements the discrete-event simulation kernel the
+// Hadoop cluster models run on. Time is virtual: events are executed in
+// timestamp order (FIFO among equal timestamps) and the clock jumps from
+// event to event, so simulating a day-long Facebook workload takes
+// milliseconds of real time and is fully deterministic.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled to run at a simulated instant.
+type Event func(now time.Duration)
+
+type item struct {
+	at  time.Duration
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*item)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use. Engines are not safe for concurrent use; the simulated
+// cluster is a sequential model even though it represents parallel hardware.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	pending eventHeap
+	ran     uint64
+}
+
+// New returns an empty engine at simulated time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Events reports how many events have been executed so far.
+func (e *Engine) Events() uint64 { return e.ran }
+
+// Pending reports how many events are scheduled but not yet run.
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// At schedules fn to run at absolute simulated time at. Scheduling in the
+// past (before Now) panics: the model would be causally inconsistent.
+func (e *Engine) At(at time.Duration, fn Event) {
+	if fn == nil {
+		panic("simclock: nil event")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("simclock: scheduling at %v, before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pending, &item{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current simulated time. Negative
+// delays are clamped to zero.
+func (e *Engine) After(d time.Duration, fn Event) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.pending) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.pending).(*item)
+	e.now = it.at
+	e.ran++
+	it.fn(e.now)
+	return true
+}
+
+// Run executes events until none remain, returning the final simulated time.
+func (e *Engine) Run() time.Duration {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps ≤ deadline, leaving later events
+// pending, and advances the clock to the deadline (or leaves it past it if
+// an executed event scheduled at exactly the deadline advanced it there).
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.pending) > 0 && e.pending[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

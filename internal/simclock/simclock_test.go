@@ -1,0 +1,250 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(3*time.Second, func(time.Duration) { order = append(order, 3) })
+	e.At(1*time.Second, func(time.Duration) { order = append(order, 1) })
+	e.At(2*time.Second, func(time.Duration) { order = append(order, 2) })
+	end := e.Run()
+	if end != 3*time.Second {
+		t.Errorf("final time = %v, want 3s", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if e.Events() != 3 {
+		t.Errorf("Events = %d, want 3", e.Events())
+	}
+}
+
+func TestEngineFIFOAmongEqualTimes(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func(time.Duration) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	var times []time.Duration
+	e.After(time.Second, func(now time.Duration) {
+		times = append(times, now)
+		e.After(2*time.Second, func(now time.Duration) {
+			times = append(times, now)
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 3*time.Second {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := New()
+	ran := false
+	e.After(-5*time.Second, func(now time.Duration) {
+		if now != 0 {
+			t.Errorf("clamped event ran at %v", now)
+		}
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Error("event never ran")
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(time.Second, func(time.Duration) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(0, func(time.Duration) {})
+}
+
+func TestEngineNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event did not panic")
+		}
+	}()
+	New().At(0, nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var ran []int
+	e.At(1*time.Second, func(time.Duration) { ran = append(ran, 1) })
+	e.At(5*time.Second, func(time.Duration) { ran = append(ran, 5) })
+	e.RunUntil(3 * time.Second)
+	if len(ran) != 1 || ran[0] != 1 {
+		t.Errorf("ran = %v, want [1]", ran)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(ran) != 2 {
+		t.Errorf("after Run, ran = %v", ran)
+	}
+}
+
+// Property: with arbitrary non-negative delays, events fire in
+// non-decreasing time order and the engine drains completely.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var seen []time.Duration
+		for _, d := range delays {
+			e.At(time.Duration(d)*time.Millisecond, func(now time.Duration) {
+				seen = append(seen, now)
+			})
+		}
+		e.Run()
+		if len(seen) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolBasics(t *testing.T) {
+	e := New()
+	p := NewPool(e, 2)
+	if p.Capacity() != 2 {
+		t.Fatalf("capacity = %d", p.Capacity())
+	}
+	var starts []time.Duration
+	task := func(hold time.Duration) {
+		p.Acquire(func(now time.Duration) {
+			starts = append(starts, now)
+			e.After(hold, func(time.Duration) { p.Release() })
+		})
+	}
+	// Three 10s tasks on 2 slots: third starts at 10s.
+	task(10 * time.Second)
+	task(10 * time.Second)
+	task(10 * time.Second)
+	end := e.Run()
+	if len(starts) != 3 {
+		t.Fatalf("starts = %v", starts)
+	}
+	if starts[0] != 0 || starts[1] != 0 || starts[2] != 10*time.Second {
+		t.Errorf("starts = %v, want [0 0 10s]", starts)
+	}
+	if end != 20*time.Second {
+		t.Errorf("end = %v, want 20s", end)
+	}
+	if p.InUse() != 0 {
+		t.Errorf("InUse after drain = %d", p.InUse())
+	}
+	if p.Peak() != 2 {
+		t.Errorf("Peak = %d, want 2", p.Peak())
+	}
+}
+
+func TestPoolFIFO(t *testing.T) {
+	e := New()
+	p := NewPool(e, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		p.Acquire(func(time.Duration) {
+			order = append(order, i)
+			e.After(time.Second, func(time.Duration) { p.Release() })
+		})
+	}
+	if p.Queued() != 4 {
+		t.Errorf("Queued = %d, want 4", p.Queued())
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("pool grants out of order: %v", order)
+		}
+	}
+}
+
+func TestPoolReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	NewPool(New(), 1).Release()
+}
+
+func TestPoolBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(0) did not panic")
+		}
+	}()
+	NewPool(New(), 0)
+}
+
+func TestPoolNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Acquire(nil) did not panic")
+		}
+	}()
+	NewPool(New(), 1).Acquire(nil)
+}
+
+// Property: n tasks of equal duration d on a pool of k slots complete in
+// ceil(n/k)*d — the wave arithmetic the MapReduce model relies on.
+func TestPoolWaveProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw%8) + 1
+		e := New()
+		p := NewPool(e, k)
+		d := 7 * time.Second
+		done := 0
+		for i := 0; i < n; i++ {
+			p.Acquire(func(time.Duration) {
+				e.After(d, func(time.Duration) {
+					p.Release()
+					done++
+				})
+			})
+		}
+		end := e.Run()
+		waves := (n + k - 1) / k
+		return done == n && end == time.Duration(waves)*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

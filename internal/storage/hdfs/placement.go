@@ -1,0 +1,101 @@
+package hdfs
+
+import "fmt"
+
+// Placement assigns block replicas to datanodes the way HDFS's default
+// policy does within a single rack (the paper's clusters are single-rack,
+// which is why it lowers the replication factor to 2): the first replica on
+// the writer's node, the remaining ones on distinct other nodes.
+type Placement struct {
+	nodes       int
+	replication int
+	counts      []int // blocks stored per node, to report balance
+}
+
+// NewPlacement creates a placement over n datanodes with the given
+// replication factor.
+func NewPlacement(n, replication int) (*Placement, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hdfs: placement over %d nodes", n)
+	}
+	if replication < 1 {
+		return nil, fmt.Errorf("hdfs: replication %d", replication)
+	}
+	return &Placement{nodes: n, replication: replication, counts: make([]int, n)}, nil
+}
+
+// EffectiveReplication returns min(replication, nodes): with fewer nodes
+// than the factor, HDFS stores one replica per node.
+func (p *Placement) EffectiveReplication() int {
+	if p.replication > p.nodes {
+		return p.nodes
+	}
+	return p.replication
+}
+
+// Place assigns replica locations for block index b written from node
+// writer. Replicas always land on distinct nodes. The assignment is
+// deterministic: the first replica is local to the writer and the others
+// round-robin from the block index, which spreads load evenly.
+func (p *Placement) Place(b, writer int) []int {
+	if writer < 0 || writer >= p.nodes {
+		panic(fmt.Sprintf("hdfs: writer node %d of %d", writer, p.nodes))
+	}
+	repl := p.EffectiveReplication()
+	locs := make([]int, 0, repl)
+	locs = append(locs, writer)
+	// Stride the off-node replicas by the block's "row" so that writers
+	// cycling round-robin still spread second replicas over every node.
+	next := (writer + 1 + b/p.nodes) % p.nodes
+	for len(locs) < repl {
+		if !contains(locs, next) {
+			locs = append(locs, next)
+		}
+		next = (next + 1) % p.nodes
+	}
+	for _, n := range locs {
+		p.counts[n]++
+	}
+	return locs
+}
+
+// PlaceBlocks places n blocks written round-robin from all nodes and
+// returns each block's replica locations.
+func (p *Placement) PlaceBlocks(n int) [][]int {
+	out := make([][]int, n)
+	for b := 0; b < n; b++ {
+		out[b] = p.Place(b, b%p.nodes)
+	}
+	return out
+}
+
+// ReplicasPerNode returns how many block replicas each node holds so far.
+func (p *Placement) ReplicasPerNode() []int {
+	return append([]int(nil), p.counts...)
+}
+
+// Imbalance returns max/mean of per-node replica counts (1.0 is perfectly
+// balanced); it returns 0 before any block is placed.
+func (p *Placement) Imbalance() float64 {
+	var sum, max int
+	for _, c := range p.counts {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(p.nodes)
+	return float64(max) / mean
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

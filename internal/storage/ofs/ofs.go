@@ -1,0 +1,171 @@
+// Package ofs models OrangeFS, the dedicated remote parallel file system of
+// the paper's up-OFS and out-OFS architectures (§II-B, §II-D): 32 storage
+// servers on Myrinet, data striped across servers in 128 MB stripes, no
+// replication. Its aggregate bandwidth beats local disks for large jobs,
+// while its fixed per-request network latency — independent of data size —
+// is why HDFS wins for small jobs (§III-B).
+package ofs
+
+import (
+	"fmt"
+	"time"
+
+	"hybridmr/internal/storage"
+	"hybridmr/internal/units"
+)
+
+// Config parameterizes the OFS model.
+type Config struct {
+	// Servers is the number of storage servers (32 on Palmetto).
+	Servers int
+	// ServerBW is each server's disk-array bandwidth (5× SATA RAID-5).
+	ServerBW units.BytesPerSec
+	// ServerCapacity is each server's usable capacity.
+	ServerCapacity units.Bytes
+	// StripeSize is the striping unit; the paper sets 128 MB to compare
+	// fairly with the HDFS block size (§II-D).
+	StripeSize units.Bytes
+	// StripeWidth is the number of servers a single file is striped over
+	// (§II-D uses 8 = 1 GB / 128 MB).
+	StripeWidth int
+	// StreamBW caps what a single task's stream can pull through its
+	// stripe set.
+	StreamBW units.BytesPerSec
+	// RequestLatency is the fixed per-task remote-access cost (metadata
+	// server round trips, connection setup through the JNI shim). The
+	// paper: "network latency ... is independent of the data size".
+	RequestLatency time.Duration
+	// WriteLatency is the per-task cost of creating a remote file.
+	WriteLatency time.Duration
+	// JobOverheadTime is the per-job remote staging/metadata cost.
+	JobOverheadTime time.Duration
+}
+
+// DefaultConfig returns the Palmetto OFS deployment as configured in the
+// paper.
+func DefaultConfig() Config {
+	return Config{
+		Servers:         32,
+		ServerBW:        units.MBps(300),
+		ServerCapacity:  8 * units.TB,
+		StripeSize:      128 * units.MB,
+		StripeWidth:     8,
+		StreamBW:        units.MBps(250),
+		RequestLatency:  2185 * time.Millisecond,
+		WriteLatency:    1086 * time.Millisecond,
+		JobOverheadTime: 2 * time.Second,
+	}
+}
+
+// System is the OFS model; it implements storage.System.
+type System struct {
+	cfg Config
+}
+
+// New validates the configuration and builds the model.
+func New(cfg Config) (*System, error) {
+	switch {
+	case cfg.Servers < 1:
+		return nil, fmt.Errorf("ofs: %d servers", cfg.Servers)
+	case cfg.ServerBW <= 0:
+		return nil, fmt.Errorf("ofs: non-positive server bandwidth")
+	case cfg.ServerCapacity <= 0:
+		return nil, fmt.Errorf("ofs: non-positive server capacity")
+	case cfg.StripeSize <= 0:
+		return nil, fmt.Errorf("ofs: non-positive stripe size")
+	case cfg.StripeWidth < 1 || cfg.StripeWidth > cfg.Servers:
+		return nil, fmt.Errorf("ofs: stripe width %d outside [1, %d]", cfg.StripeWidth, cfg.Servers)
+	case cfg.StreamBW <= 0:
+		return nil, fmt.Errorf("ofs: non-positive stream bandwidth")
+	}
+	return &System{cfg: cfg}, nil
+}
+
+// Config returns the model's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Name implements storage.System.
+func (s *System) Name() string { return "OFS" }
+
+// AggregateBW returns the file system's total server bandwidth.
+func (s *System) AggregateBW() units.BytesPerSec {
+	return s.cfg.ServerBW * units.BytesPerSec(s.cfg.Servers)
+}
+
+// UsableCapacity returns the total capacity (OFS has no replication; §II-D
+// notes it lacks built-in replication support).
+func (s *System) UsableCapacity() units.Bytes {
+	return units.Bytes(s.cfg.Servers) * s.cfg.ServerCapacity
+}
+
+// CheckJobFit implements storage.System.
+func (s *System) CheckJobFit(input, output units.Bytes) error {
+	need := input + output
+	if cap := s.UsableCapacity(); need > cap {
+		return fmt.Errorf("ofs: job needs %v of %v usable: %w", need, cap, storage.ErrCapacity)
+	}
+	return nil
+}
+
+// perTaskBW bounds one task's bandwidth by the single-stream cap, the
+// cluster-wide share of the servers' aggregate bandwidth, and the task's
+// share of its compute node's NIC.
+func (s *System) perTaskBW(global, perNode float64, nic units.BytesPerSec) units.BytesPerSec {
+	stripeBW := s.cfg.ServerBW * units.BytesPerSec(s.cfg.StripeWidth)
+	stream := storage.MinBW(s.cfg.StreamBW, stripeBW)
+	aggShare := units.BytesPerSec(float64(s.AggregateBW()) / global)
+	nicShare := units.BytesPerSec(float64(nic) / perNode)
+	return storage.MinBW(stream, aggShare, nicShare)
+}
+
+// PerTaskReadBW implements storage.System.
+func (s *System) PerTaskReadBW(ctx storage.AccessContext) units.BytesPerSec {
+	global := float64(ctx.ActiveTasks) * ctx.ReadDuty
+	if global < 1 {
+		global = 1
+	}
+	perNode := float64(ctx.TasksPerNode) * ctx.ReadDuty
+	if perNode < 1 {
+		perNode = 1
+	}
+	return s.perTaskBW(global, perNode, ctx.NodeNIC)
+}
+
+// PerTaskWriteBW implements storage.System. Writes are symmetric to reads:
+// no replication pipeline, same striping.
+func (s *System) PerTaskWriteBW(ctx storage.AccessContext) units.BytesPerSec {
+	global := float64(ctx.ActiveTasks) * ctx.WriteDuty
+	if global < 1 {
+		global = 1
+	}
+	perNode := float64(ctx.TasksPerNode) * ctx.WriteDuty
+	if perNode < 1 {
+		perNode = 1
+	}
+	return s.perTaskBW(global, perNode, ctx.NodeNIC)
+}
+
+// TaskReadLatency implements storage.System.
+func (s *System) TaskReadLatency() time.Duration { return s.cfg.RequestLatency }
+
+// TaskWriteLatency implements storage.System.
+func (s *System) TaskWriteLatency() time.Duration { return s.cfg.WriteLatency }
+
+// JobOverhead implements storage.System.
+func (s *System) JobOverhead() time.Duration { return s.cfg.JobOverheadTime }
+
+// ServersForFile returns how many servers hold a file of the given size:
+// ceil(size/stripe), capped by the stripe width (§II-D: a 1 GB file with
+// 128 MB stripes uses 8 servers).
+func (s *System) ServersForFile(size units.Bytes) int {
+	n := size.Blocks(s.cfg.StripeSize)
+	if n > s.cfg.StripeWidth {
+		return s.cfg.StripeWidth
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+var _ storage.System = (*System)(nil)

@@ -1,0 +1,142 @@
+// Package storage defines the file-system abstraction the MapReduce
+// simulator reads and writes through. Two implementations mirror the
+// paper's study: internal/storage/hdfs models the Hadoop Distributed File
+// System on the compute nodes' local disks, and internal/storage/ofs models
+// OrangeFS, the dedicated remote striped file system the Clemson cluster
+// mounts on both the scale-up and the scale-out machines.
+//
+// The simulator never moves bytes; it asks a System for effective per-task
+// bandwidths and fixed latencies under a given concurrency (AccessContext)
+// and converts them into simulated time.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hybridmr/internal/units"
+)
+
+// ErrCapacity reports that a dataset does not fit the file system. The paper
+// hits exactly this limit: up-HDFS cannot process jobs with input data size
+// greater than 80 GB (§III-A).
+var ErrCapacity = errors.New("storage: dataset exceeds file system capacity")
+
+// AccessContext describes the concurrency under which tasks of one job
+// access the file system. The duty cycles discount concurrent streams by the
+// fraction of task lifetime actually spent on I/O; tasks overlapping compute
+// with I/O do not all hit the disk at once.
+type AccessContext struct {
+	// ActiveTasks is the number of concurrently running tasks of the job
+	// across the whole cluster.
+	ActiveTasks int
+	// TasksPerNode is the number of those tasks per compute node.
+	TasksPerNode int
+	// Nodes is the number of compute machines running the job.
+	Nodes int
+	// NodeNIC is each compute node's network bandwidth.
+	NodeNIC units.BytesPerSec
+	// NodeDiskBW is each compute node's local-disk bandwidth.
+	NodeDiskBW units.BytesPerSec
+	// DatasetBytes is the total data volume the job reads; file systems
+	// with a page-cache model use it to decide whether reads are served
+	// from memory (a dataset recently written and small enough to stay
+	// cached) or from disk.
+	DatasetBytes units.Bytes
+	// ReadDuty and WriteDuty are the I/O duty-cycle discounts in (0, 1].
+	ReadDuty, WriteDuty float64
+}
+
+// Validate reports an invalid context.
+func (c AccessContext) Validate() error {
+	switch {
+	case c.ActiveTasks < 1:
+		return fmt.Errorf("storage: ActiveTasks %d", c.ActiveTasks)
+	case c.TasksPerNode < 1:
+		return fmt.Errorf("storage: TasksPerNode %d", c.TasksPerNode)
+	case c.Nodes < 1:
+		return fmt.Errorf("storage: Nodes %d", c.Nodes)
+	case c.ReadDuty <= 0 || c.ReadDuty > 1:
+		return fmt.Errorf("storage: ReadDuty %v outside (0,1]", c.ReadDuty)
+	case c.WriteDuty <= 0 || c.WriteDuty > 1:
+		return fmt.Errorf("storage: WriteDuty %v outside (0,1]", c.WriteDuty)
+	}
+	return nil
+}
+
+// readers returns the effective number of concurrent readers per node,
+// never below one stream.
+func (c AccessContext) readersPerNode() float64 {
+	n := float64(c.TasksPerNode) * c.ReadDuty
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// writersPerNode is the write-side analogue of readersPerNode.
+func (c AccessContext) writersPerNode() float64 {
+	n := float64(c.TasksPerNode) * c.WriteDuty
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// readersGlobal returns the effective number of concurrent readers across
+// the cluster, never below one.
+func (c AccessContext) readersGlobal() float64 {
+	n := float64(c.ActiveTasks) * c.ReadDuty
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+func (c AccessContext) writersGlobal() float64 {
+	n := float64(c.ActiveTasks) * c.WriteDuty
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// System is the file-system model the simulator runs jobs against.
+type System interface {
+	// Name returns a short identifier ("HDFS" or "OFS").
+	Name() string
+	// PerTaskReadBW returns the effective bandwidth one task sees when
+	// reading its input split under the given concurrency.
+	PerTaskReadBW(ctx AccessContext) units.BytesPerSec
+	// PerTaskWriteBW is the write-side analogue (job output, or the data
+	// a TestDFSIO-write map task produces).
+	PerTaskWriteBW(ctx AccessContext) units.BytesPerSec
+	// TaskReadLatency is the fixed per-task cost of opening the input
+	// (metadata lookups; for OFS this includes the remote round trips the
+	// paper identifies as the reason HDFS beats OFS on small jobs).
+	TaskReadLatency() time.Duration
+	// TaskWriteLatency is the fixed per-task cost of creating the output.
+	TaskWriteLatency() time.Duration
+	// JobOverhead is the fixed per-job metadata/staging cost.
+	JobOverhead() time.Duration
+	// CheckJobFit reports ErrCapacity (wrapped) when input plus output
+	// data cannot be stored.
+	CheckJobFit(input, output units.Bytes) error
+}
+
+// MinBW returns the smallest positive bandwidth among its arguments;
+// non-positive values are ignored. It returns 0 only if every argument is
+// non-positive.
+func MinBW(bws ...units.BytesPerSec) units.BytesPerSec {
+	var best units.BytesPerSec
+	for _, bw := range bws {
+		if bw <= 0 {
+			continue
+		}
+		if best == 0 || bw < best {
+			best = bw
+		}
+	}
+	return best
+}

@@ -1,0 +1,149 @@
+// Package textplot renders the reproduction's tables and figure series as
+// aligned text, so every table and figure of the paper can be regenerated
+// on a terminal and diffed across runs.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render returns the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	if t.ID != "" || t.Title != "" {
+		fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Format string // fmt verb for Y values, default "%.3g"
+}
+
+// Panel is one sub-figure: several series over a shared x axis.
+type Panel struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Figure is a titled set of panels, mirroring the paper's multi-panel
+// figures.
+type Figure struct {
+	ID     string
+	Title  string
+	Panels []Panel
+	Notes  []string
+}
+
+// Render returns every panel as an aligned series table: one row per x
+// value, one column per series.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	for _, p := range f.Panels {
+		b.WriteString(p.render())
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func (p Panel) render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n[%s]  (%s vs %s)\n", p.Name, p.YLabel, p.XLabel)
+	if len(p.Series) == 0 {
+		b.WriteString("  (no series)\n")
+		return b.String()
+	}
+	// Collect the union of x values in first-seen order, assuming the
+	// series share a grid (the harness always builds them that way).
+	xs := p.Series[0].X
+	header := make([]string, 0, len(p.Series)+1)
+	header = append(header, p.XLabel)
+	for _, s := range p.Series {
+		header = append(header, s.Name)
+	}
+	rows := make([][]string, 0, len(xs))
+	for i, x := range xs {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range p.Series {
+			row = append(row, s.cell(i, x))
+		}
+		rows = append(rows, row)
+	}
+	t := Table{Header: header, Rows: rows}
+	// Reuse the table alignment, dropping its title line.
+	b.WriteString(t.Render())
+	return b.String()
+}
+
+// cell formats the i-th point of the series if its x matches; series with
+// missing points (e.g. up-HDFS beyond its capacity) render "-".
+func (s Series) cell(i int, x float64) string {
+	format := s.Format
+	if format == "" {
+		format = "%.3g"
+	}
+	if i < len(s.X) && s.X[i] == x && i < len(s.Y) {
+		return fmt.Sprintf(format, s.Y[i])
+	}
+	// Fall back to searching, in case grids differ.
+	for j, sx := range s.X {
+		if sx == x && j < len(s.Y) {
+			return fmt.Sprintf(format, s.Y[j])
+		}
+	}
+	return "-"
+}

@@ -1,0 +1,93 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		ID:     "T1",
+		Title:  "demo",
+		Header: []string{"name", "value"},
+		Rows: [][]string{
+			{"alpha", "1"},
+			{"a-much-longer-name", "22"},
+		},
+		Notes: []string{"a note"},
+	}
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "T1 — demo") {
+		t.Errorf("title line %q", lines[0])
+	}
+	// All data rows align: the value column starts at the same offset.
+	idx := strings.Index(lines[3], "1")
+	if idx < 0 || !strings.Contains(lines[4][idx:], "22") {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Error("missing note")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := Figure{
+		ID:    "F1",
+		Title: "two series",
+		Panels: []Panel{{
+			Name:   "p",
+			XLabel: "x",
+			YLabel: "y",
+			Series: []Series{
+				{Name: "s1", X: []float64{1, 2, 4}, Y: []float64{10, 20, 40}, Format: "%.0f"},
+				{Name: "s2", X: []float64{1, 2}, Y: []float64{1.5, 2.5}, Format: "%.1f"},
+			},
+		}},
+		Notes: []string{"hello"},
+	}
+	out := fig.Render()
+	for _, want := range []string{"F1 — two series", "[p]", "s1", "s2", "10", "2.5", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// s2 has no point at x=4: rendered as "-".
+	lines := strings.Split(out, "\n")
+	var x4 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "4") {
+			x4 = l
+		}
+	}
+	if !strings.Contains(x4, "-") {
+		t.Errorf("missing point not rendered as '-': %q", x4)
+	}
+}
+
+func TestEmptyPanel(t *testing.T) {
+	fig := Figure{ID: "F", Title: "t", Panels: []Panel{{Name: "empty"}}}
+	if !strings.Contains(fig.Render(), "(no series)") {
+		t.Error("empty panel not handled")
+	}
+}
+
+func TestSeriesCellFallbackSearch(t *testing.T) {
+	s := Series{Name: "s", X: []float64{5, 7}, Y: []float64{50, 70}}
+	if got := s.cell(0, 7); got != "70" {
+		t.Errorf("fallback search = %q, want 70", got)
+	}
+	if got := s.cell(0, 9); got != "-" {
+		t.Errorf("missing x = %q, want -", got)
+	}
+}
+
+func TestDefaultFormat(t *testing.T) {
+	s := Series{Name: "s", X: []float64{1}, Y: []float64{3.14159}}
+	if got := s.cell(0, 1); got != "3.14" {
+		t.Errorf("default format = %q", got)
+	}
+}

@@ -1,0 +1,72 @@
+package workload
+
+import "testing"
+
+// The diurnal modulation concentrates arrivals near the peak (first half of
+// the window) relative to the trough.
+func TestDiurnalArrivals(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Jobs = 8000
+	cfg.BurstFraction = 0 // isolate the diurnal effect
+	cfg.DiurnalAmplitude = 0.8
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count arrivals in the peak quarter (around T/4, where sin = 1) and
+	// the trough quarter (around 3T/4, where sin = -1).
+	T := cfg.Duration
+	var peak, trough int
+	for _, j := range jobs {
+		switch {
+		case j.Submit >= T/8 && j.Submit < 3*T/8:
+			peak++
+		case j.Submit >= 5*T/8 && j.Submit < 7*T/8:
+			trough++
+		}
+	}
+	if trough == 0 {
+		t.Fatal("no arrivals in the trough window")
+	}
+	if ratio := float64(peak) / float64(trough); ratio < 2 {
+		t.Errorf("peak/trough arrival ratio = %.2f, want ≥ 2 at amplitude 0.8", ratio)
+	}
+	// Arrivals stay sorted.
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Submit < jobs[i-1].Submit {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DiurnalAmplitude = 1.0
+	if err := cfg.Validate(); err == nil {
+		t.Error("amplitude 1.0 accepted")
+	}
+	cfg.DiurnalAmplitude = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative amplitude accepted")
+	}
+}
+
+// Diurnality off reproduces the plain bursty process exactly.
+func TestDiurnalOffIsIdentity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Jobs = 300
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DiurnalAmplitude = 0
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Submit != b[i].Submit {
+			t.Fatalf("job %d submit differs: %v vs %v", i, a[i].Submit, b[i].Submit)
+		}
+	}
+}

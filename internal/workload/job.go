@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"time"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/units"
+)
+
+// Job is one workload job: what the trace records and what the hybrid
+// scheduler sees at submission time.
+type Job struct {
+	// ID identifies the job.
+	ID string
+	// App is the application profile (compute rates, true ratios).
+	App apps.Profile
+	// Input is the job's input data size as executed (after any shrink
+	// factor applied to fit the testbed, §V).
+	Input units.Bytes
+	// Nominal is the job's original input size as recorded in the trace,
+	// before shrinking; the scheduler's cross points were measured
+	// against real job sizes, so routing uses the nominal size. Zero
+	// means "same as Input" (no shrink).
+	Nominal units.Bytes
+	// Submit is the arrival time.
+	Submit time.Duration
+	// RatioKnown reports whether the user supplied the shuffle/input
+	// ratio. The paper assumes users know it from earlier runs; unknown
+	// jobs are conservatively treated as map-intensive (§IV).
+	RatioKnown bool
+	// MapTasks overrides the block-derived map-task count when positive
+	// (many-small-files inputs).
+	MapTasks int
+}
+
+// SchedulingSize returns the size the scheduler routes on: the nominal
+// (pre-shrink) size when recorded, otherwise the executed size.
+func (j Job) SchedulingSize() units.Bytes {
+	if j.Nominal > 0 {
+		return j.Nominal
+	}
+	return j.Input
+}
+
+// MapReduceJob converts to the simulator's job type.
+func (j Job) MapReduceJob() mapreduce.Job {
+	return mapreduce.Job{ID: j.ID, App: j.App, Input: j.Input, Submit: j.Submit, MapTasks: j.MapTasks}
+}

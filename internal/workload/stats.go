@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hybridmr/internal/units"
+)
+
+// Stats summarizes a trace the way workload-characterization papers (the
+// paper's [10], [19]) tabulate theirs: job counts per size band and per
+// application, total data volume, and the arrival span.
+type Stats struct {
+	Jobs       int
+	TotalInput units.Bytes
+	// Small/Medium/Large follow Fig. 3's bands, evaluated on the
+	// nominal (pre-shrink) sizes.
+	Small, Medium, Large int
+	// PerApp counts jobs per application name.
+	PerApp map[string]int
+	// Span is the time between the first and last arrival.
+	Span time.Duration
+	// KnownRatioFraction is the share of jobs with a user-supplied
+	// shuffle/input ratio.
+	KnownRatioFraction float64
+}
+
+// Summarize computes trace statistics.
+func Summarize(jobs []Job) Stats {
+	s := Stats{Jobs: len(jobs), PerApp: make(map[string]int)}
+	if len(jobs) == 0 {
+		return s
+	}
+	first, last := jobs[0].Submit, jobs[0].Submit
+	known := 0
+	for _, j := range jobs {
+		s.TotalInput += j.Input
+		size := j.SchedulingSize()
+		switch {
+		case size < units.MB:
+			s.Small++
+		case size <= 30*units.GB:
+			s.Medium++
+		default:
+			s.Large++
+		}
+		s.PerApp[j.App.Name]++
+		if j.Submit < first {
+			first = j.Submit
+		}
+		if j.Submit > last {
+			last = j.Submit
+		}
+		if j.RatioKnown {
+			known++
+		}
+	}
+	s.Span = last - first
+	s.KnownRatioFraction = float64(known) / float64(len(jobs))
+	return s
+}
+
+// String renders the statistics as a small report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d jobs, %v total input, span %v\n", s.Jobs, s.TotalInput, s.Span.Round(time.Second))
+	if s.Jobs > 0 {
+		fmt.Fprintf(&b, "size bands (nominal): %.0f%% < 1MB, %.0f%% ≤ 30GB, %.0f%% > 30GB\n",
+			100*float64(s.Small)/float64(s.Jobs),
+			100*float64(s.Medium)/float64(s.Jobs),
+			100*float64(s.Large)/float64(s.Jobs))
+	}
+	names := make([]string, 0, len(s.PerApp))
+	for n := range s.PerApp {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-12s %d\n", n, s.PerApp[n])
+	}
+	fmt.Fprintf(&b, "known shuffle/input ratio: %.0f%%\n", 100*s.KnownRatioFraction)
+	return b.String()
+}

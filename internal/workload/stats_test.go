@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/units"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Jobs != 0 || s.TotalInput != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty stats should still render")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	jobs := []Job{
+		{ID: "a", App: apps.Grep(), Input: 100 * units.KB, Nominal: 500 * units.KB, Submit: 0, RatioKnown: true},
+		{ID: "b", App: apps.Wordcount(), Input: units.GB, Nominal: 5 * units.GB, Submit: time.Minute, RatioKnown: true},
+		{ID: "c", App: apps.Wordcount(), Input: 20 * units.GB, Nominal: 100 * units.GB, Submit: time.Hour, RatioKnown: false},
+	}
+	s := Summarize(jobs)
+	if s.Jobs != 3 {
+		t.Fatalf("jobs = %d", s.Jobs)
+	}
+	if s.Small != 1 || s.Medium != 1 || s.Large != 1 {
+		t.Errorf("bands = %d/%d/%d, want 1/1/1", s.Small, s.Medium, s.Large)
+	}
+	if s.PerApp["wordcount"] != 2 || s.PerApp["grep"] != 1 {
+		t.Errorf("per app = %v", s.PerApp)
+	}
+	if s.Span != time.Hour {
+		t.Errorf("span = %v", s.Span)
+	}
+	if s.TotalInput != 100*units.KB+units.GB+20*units.GB {
+		t.Errorf("total input = %v", s.TotalInput)
+	}
+	if s.KnownRatioFraction < 0.66 || s.KnownRatioFraction > 0.67 {
+		t.Errorf("known fraction = %v", s.KnownRatioFraction)
+	}
+	out := s.String()
+	for _, want := range []string{"3 jobs", "wordcount", "grep", "size bands"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The generated trace's statistics match the generator's configuration.
+func TestSummarizeGenerated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Jobs = 4000
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(jobs)
+	if s.Jobs != 4000 {
+		t.Fatalf("jobs = %d", s.Jobs)
+	}
+	frac := func(n int) float64 { return float64(n) / 4000 }
+	if f := frac(s.Small); f < 0.36 || f > 0.44 {
+		t.Errorf("small fraction %v", f)
+	}
+	if f := frac(s.Large); f < 0.08 || f > 0.15 {
+		t.Errorf("large fraction %v", f)
+	}
+	if s.KnownRatioFraction < 0.92 {
+		t.Errorf("known fraction %v", s.KnownRatioFraction)
+	}
+}
