@@ -1,0 +1,34 @@
+# Verification targets. `make check` is the one-command gate: tier-1
+# (build + test) plus vet, the race layer and a bench smoke pass.
+
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke golden check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The sweep runner introduced real concurrency; the race layer is part of
+# full verification.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of every benchmark, including the sweep serial/parallel/
+# memoized comparison and the ablation benches (their embedded assertions
+# run even at -benchtime=1x).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Refresh the golden figure snapshots after an intentional model change.
+golden:
+	$(GO) test ./internal/figures -run TestGolden -update
+
+check: build vet test race bench-smoke

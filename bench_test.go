@@ -8,6 +8,8 @@
 package hybridmr_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"hybridmr/internal/mapreduce"
 	"hybridmr/internal/netmodel"
 	"hybridmr/internal/storage/hdfs"
+	"hybridmr/internal/sweep"
 	"hybridmr/internal/units"
 	"hybridmr/internal/workload"
 )
@@ -147,6 +150,101 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			sim.Submit(j.MapReduceJob())
 		}
 		sim.Run()
+	}
+}
+
+// --- Sweep-runner benchmarks (parallel vs serial vs memoized) ---
+
+// fig5SweepPoints builds a Fig. 5-sized probe batch: the shuffle-intensive
+// size grid on all four Table I architectures (the grid measurementFigure
+// fans out for Figs. 5, 6 and 9).
+func fig5SweepPoints(b *testing.B) []sweep.Point {
+	b.Helper()
+	var pts []sweep.Point
+	for _, a := range mapreduce.Arches() {
+		p := mapreduce.MustArch(a, cal())
+		for i, gb := range figures.ShuffleIntensiveSizesGB {
+			pts = append(pts, sweep.Point{
+				Platform: p,
+				Job:      mapreduce.Job{ID: fmt.Sprintf("bench-%d", i), App: apps.Wordcount(), Input: units.GiB(gb)},
+			})
+		}
+	}
+	return pts
+}
+
+// BenchmarkSweepSerial runs the Fig. 5-sized batch on one worker with a
+// cold cache each iteration — the pre-parallel baseline.
+func BenchmarkSweepSerial(b *testing.B) {
+	pts := fig5SweepPoints(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep.New(1).RunPoints(pts)
+	}
+}
+
+// BenchmarkSweepParallel runs the same cold-cache batch on a GOMAXPROCS
+// pool. Compare with BenchmarkSweepSerial; on a multi-core host the
+// parallel path wins, and TestGoldenParallelMatchesSerial pins that both
+// produce byte-identical figure output.
+func BenchmarkSweepParallel(b *testing.B) {
+	pts := fig5SweepPoints(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep.New(0).RunPoints(pts)
+	}
+}
+
+// BenchmarkSweepSpeedup measures both paths in one run and reports the
+// ratio. The hard assertion only applies with ≥2 workers backed by ≥2 CPUs:
+// on a single-core host the pool cannot beat the inline loop and the metric
+// is informational.
+func BenchmarkSweepSpeedup(b *testing.B) {
+	pts := fig5SweepPoints(b)
+	const reps = 50 // amplify the µs-scale batch above timer noise
+	elapsed := func(workers int) float64 {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			sweep.New(workers).RunPoints(pts)
+		}
+		return time.Since(start).Seconds()
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		speedup = elapsed(1) / elapsed(0)
+	}
+	b.ReportMetric(speedup, "parallel-speedup-x")
+	if runtime.NumCPU() >= 2 && speedup <= 1 {
+		b.Fatalf("parallel sweep should beat serial on %d CPUs, got ×%.3f", runtime.NumCPU(), speedup)
+	}
+}
+
+// BenchmarkSweepMemoized quantifies the cache: rerunning a batch the cache
+// has already absorbed must beat the cold run on any hardware — this is the
+// win that makes repeated points across Fig. 5, the normalization baseline
+// and the cross-point sweeps free.
+func BenchmarkSweepMemoized(b *testing.B) {
+	pts := fig5SweepPoints(b)
+	const reps = 50
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r := sweep.New(1)
+		start := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			sweep.New(1).RunPoints(pts) // cold: fresh cache every pass
+		}
+		cold := time.Since(start)
+		r.RunPoints(pts) // absorb the batch once
+		start = time.Now()
+		for rep := 0; rep < reps; rep++ {
+			r.RunPoints(pts) // warm: pure cache hits
+		}
+		warm := time.Since(start)
+		speedup = cold.Seconds() / warm.Seconds()
+	}
+	b.ReportMetric(speedup, "memoized-speedup-x")
+	if speedup <= 1 {
+		b.Fatalf("memoized rerun should beat cold simulation, got ×%.3f", speedup)
 	}
 }
 

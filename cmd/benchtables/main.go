@@ -16,24 +16,28 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"hybridmr/internal/figures"
 	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/sweep"
 	"hybridmr/internal/workload"
 )
 
 func main() {
 	var (
-		all   = flag.Bool("all", false, "print every table and figure")
-		fig   = flag.Int("fig", 0, "figure number to print (3–10)")
-		table = flag.Int("table", 0, "table number to print (1)")
-		jobs  = flag.Int("jobs", 6000, "trace job count for Figs. 3 and 10")
-		raw   = flag.Bool("raw", false, "absolute seconds instead of up-OFS-normalized panels in Figs. 5, 6, 9")
-		seed  = flag.Int64("seed", 2009, "trace seed")
-		out   = flag.String("out", "", "directory to write each table/figure to its own .txt file (default: stdout)")
+		all      = flag.Bool("all", false, "print every table and figure")
+		fig      = flag.Int("fig", 0, "figure number to print (3–10)")
+		table    = flag.Int("table", 0, "table number to print (1)")
+		jobs     = flag.Int("jobs", 6000, "trace job count for Figs. 3 and 10")
+		raw      = flag.Bool("raw", false, "absolute seconds instead of up-OFS-normalized panels in Figs. 5, 6, 9")
+		seed     = flag.Int64("seed", 2009, "trace seed")
+		out      = flag.String("out", "", "directory to write each table/figure to its own .txt file (default: stdout)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "simulation worker count (1 = serial; output is identical either way)")
 	)
 	flag.Parse()
+	sweep.SetDefaultWorkers(*parallel)
 
 	cal := mapreduce.DefaultCalibration()
 	cfg := workload.DefaultConfig()

@@ -13,15 +13,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"hybridmr/internal/core"
 	"hybridmr/internal/figures"
 	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/sweep"
 )
 
 func main() {
-	sweep := flag.Bool("sweep", false, "print the full ratio curves")
+	curves := flag.Bool("sweep", false, "print the full ratio curves")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "simulation worker count (1 = serial; output is identical either way)")
 	flag.Parse()
+	sweep.SetDefaultWorkers(*parallel)
 
 	cal := mapreduce.DefaultCalibration()
 	up, err := mapreduce.NewArch(mapreduce.UpOFS, cal)
@@ -33,7 +37,7 @@ func main() {
 		fatal(err)
 	}
 
-	if *sweep {
+	if *curves {
 		for _, build := range []func(mapreduce.Calibration) (interface{ Render() string }, error){
 			func(c mapreduce.Calibration) (interface{ Render() string }, error) { return figures.Fig7(c) },
 			func(c mapreduce.Calibration) (interface{ Render() string }, error) { return figures.Fig8(c) },

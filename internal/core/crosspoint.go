@@ -5,6 +5,7 @@ import (
 
 	"hybridmr/internal/apps"
 	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/sweep"
 	"hybridmr/internal/units"
 )
 
@@ -20,22 +21,31 @@ type CrossSweepPoint struct {
 
 // SweepCrossPoint probes the two platforms with the application at `steps`
 // log-spaced sizes in [lo, hi] and returns the ratio curve. Sizes either
-// platform rejects are skipped.
+// platform rejects are skipped. The probes fan out across the process-wide
+// sweep runner: the 2×steps simulations are independent, run in parallel
+// and are memoized, so the Fig. 7/8 curves and the §IV bisection share
+// coincident points.
 func SweepCrossPoint(up, out *mapreduce.Platform, prof apps.Profile, lo, hi units.Bytes, steps int) []CrossSweepPoint {
 	if steps < 2 {
 		panic("core: SweepCrossPoint needs ≥2 steps")
 	}
-	pts := make([]CrossSweepPoint, 0, steps)
 	lf, hf := float64(lo), float64(hi)
+	probes := make([]sweep.Point, 0, 2*steps)
 	for i := 0; i < steps; i++ {
 		size := units.Bytes(math.Round(lf * math.Pow(hf/lf, float64(i)/float64(steps-1))))
 		job := mapreduce.Job{ID: "sweep", App: prof, Input: size}
-		u := up.RunIsolated(job)
-		o := out.RunIsolated(job)
+		probes = append(probes,
+			sweep.Point{Platform: up, Job: job},
+			sweep.Point{Platform: out, Job: job})
+	}
+	res := sweep.Default().RunPoints(probes)
+	pts := make([]CrossSweepPoint, 0, steps)
+	for i := 0; i < steps; i++ {
+		u, o := res[2*i], res[2*i+1]
 		if u.Err != nil || o.Err != nil {
 			continue
 		}
-		pts = append(pts, CrossSweepPoint{Input: size, Ratio: o.Exec.Seconds() / u.Exec.Seconds()})
+		pts = append(pts, CrossSweepPoint{Input: u.Job.Input, Ratio: o.Exec.Seconds() / u.Exec.Seconds()})
 	}
 	return pts
 }
@@ -67,19 +77,30 @@ func FindCrossPoint(up, out *mapreduce.Platform, prof apps.Profile, lo, hi units
 func MeasureCrossPoints(up, out *mapreduce.Platform) (CrossPoints, error) {
 	const steps = 96
 	cp := CrossPoints{RatioHigh: 1.0, RatioLow: 0.4}
-	high, ok := FindCrossPoint(up, out, apps.Wordcount(), 2*units.GB, 120*units.GB, steps)
-	if !ok {
-		return cp, errNoCross("wordcount")
+	// The three band measurements are independent bisections; run them
+	// concurrently (each one's probe sweep fans out further).
+	bands := []struct {
+		prof   apps.Profile
+		lo, hi units.Bytes
+	}{
+		{apps.Wordcount(), 2 * units.GB, 120 * units.GB},
+		{apps.Grep(), units.GB, 80 * units.GB},
+		{apps.DFSIOWrite(), units.GB, 60 * units.GB},
 	}
-	mid, ok := FindCrossPoint(up, out, apps.Grep(), units.GB, 80*units.GB, steps)
-	if !ok {
-		return cp, errNoCross("grep")
+	type measured struct {
+		at units.Bytes
+		ok bool
 	}
-	low, ok := FindCrossPoint(up, out, apps.DFSIOWrite(), units.GB, 60*units.GB, steps)
-	if !ok {
-		return cp, errNoCross("dfsio-write")
+	got := sweep.Map(sweep.Default().Workers(), len(bands), func(i int) measured {
+		at, ok := FindCrossPoint(up, out, bands[i].prof, bands[i].lo, bands[i].hi, steps)
+		return measured{at: at, ok: ok}
+	})
+	for i, m := range got {
+		if !m.ok {
+			return cp, errNoCross(bands[i].prof.Name)
+		}
 	}
-	cp.HighRatio, cp.MidRatio, cp.LowRatio = high, mid, low
+	cp.HighRatio, cp.MidRatio, cp.LowRatio = got[0].at, got[1].at, got[2].at
 	// Keep the table monotone even when two measured points land within
 	// one probe step of each other.
 	if cp.MidRatio < cp.LowRatio {

@@ -6,6 +6,7 @@ import (
 	"hybridmr/internal/core"
 	"hybridmr/internal/mapreduce"
 	"hybridmr/internal/stats"
+	"hybridmr/internal/sweep"
 	"hybridmr/internal/textplot"
 	"hybridmr/internal/workload"
 )
@@ -21,21 +22,16 @@ type TraceResult struct {
 }
 
 // RunTrace executes the trace experiment: the workload on the hybrid and on
-// the two 24-machine baselines, under the Fair scheduler.
+// the two 24-machine baselines, under the Fair scheduler. The three replays
+// are independent whole-cluster simulations — each builds its own simclock
+// engine over the shared read-only job slice — so they run concurrently on
+// the process-wide sweep runner's worker pool.
 func RunTrace(cal mapreduce.Calibration, cfg workload.Config) (*TraceResult, error) {
 	jobs, err := workload.Generate(cfg)
 	if err != nil {
 		return nil, err
 	}
 	hybrid, err := core.NewHybrid(cal)
-	if err != nil {
-		return nil, err
-	}
-	th, err := mapreduce.NewTHadoop(cal)
-	if err != nil {
-		return nil, err
-	}
-	rh, err := mapreduce.NewRHadoop(cal)
 	if err != nil {
 		return nil, err
 	}
@@ -50,23 +46,50 @@ func RunTrace(cal mapreduce.Calibration, cfg workload.Config) (*TraceResult, err
 	for _, j := range upJobs {
 		tr.UpClass[j.ID] = true
 	}
-	for _, r := range hybrid.Run(jobs) {
-		if r.Err != nil {
-			return nil, fmt.Errorf("figures: hybrid job %s: %w", r.Job.ID, r.Err)
-		}
-		tr.Hybrid[r.Job.ID] = r.Exec.Seconds()
+	type replay struct {
+		name string
+		into map[string]float64
+		run  func() ([]mapreduce.Result, error)
 	}
-	for _, r := range core.RunBaseline(th, jobs, mapreduce.Fair) {
-		if r.Err != nil {
-			return nil, fmt.Errorf("figures: THadoop job %s: %w", r.Job.ID, r.Err)
+	baseline := func(build func(mapreduce.Calibration) (*mapreduce.Platform, error)) func() ([]mapreduce.Result, error) {
+		return func() ([]mapreduce.Result, error) {
+			p, err := build(cal)
+			if err != nil {
+				return nil, err
+			}
+			return core.RunBaseline(p, jobs, mapreduce.Fair), nil
 		}
-		tr.THadoop[r.Job.ID] = r.Exec.Seconds()
 	}
-	for _, r := range core.RunBaseline(rh, jobs, mapreduce.Fair) {
-		if r.Err != nil {
-			return nil, fmt.Errorf("figures: RHadoop job %s: %w", r.Job.ID, r.Err)
+	replays := []replay{
+		{"hybrid", tr.Hybrid, func() ([]mapreduce.Result, error) {
+			rs := hybrid.Run(jobs)
+			out := make([]mapreduce.Result, len(rs))
+			for i, r := range rs {
+				out[i] = r.Result
+			}
+			return out, nil
+		}},
+		{"THadoop", tr.THadoop, baseline(mapreduce.NewTHadoop)},
+		{"RHadoop", tr.RHadoop, baseline(mapreduce.NewRHadoop)},
+	}
+	type outcome struct {
+		results []mapreduce.Result
+		err     error
+	}
+	outs := sweep.Map(sweep.Default().Workers(), len(replays), func(i int) outcome {
+		rs, err := replays[i].run()
+		return outcome{results: rs, err: err}
+	})
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("figures: %s: %w", replays[i].name, o.err)
 		}
-		tr.RHadoop[r.Job.ID] = r.Exec.Seconds()
+		for _, r := range o.results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("figures: %s job %s: %w", replays[i].name, r.Job.ID, r.Err)
+			}
+			replays[i].into[r.Job.ID] = r.Exec.Seconds()
+		}
 	}
 	return tr, nil
 }

@@ -7,6 +7,7 @@ import (
 	"hybridmr/internal/apps"
 	"hybridmr/internal/core"
 	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/sweep"
 	"hybridmr/internal/textplot"
 	"hybridmr/internal/units"
 	"hybridmr/internal/workload"
@@ -116,10 +117,16 @@ func Fig4(cal mapreduce.Calibration) (textplot.Figure, error) {
 		return textplot.Figure{}, err
 	}
 	prof := apps.Wordcount()
-	var xs, upY, outY []float64
-	for _, gb := range []float64{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128} {
+	sizesGB := []float64{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128}
+	pts := make([]sweep.Point, 0, 2*len(sizesGB))
+	for _, gb := range sizesGB {
 		job := mapreduce.Job{ID: "fig4", App: prof, Input: units.GiB(gb)}
-		u, o := up.RunIsolated(job), out.RunIsolated(job)
+		pts = append(pts, sweep.Point{Platform: up, Job: job}, sweep.Point{Platform: out, Job: job})
+	}
+	res := sweep.Default().RunPoints(pts)
+	var xs, upY, outY []float64
+	for i, gb := range sizesGB {
+		u, o := res[2*i], res[2*i+1]
 		if u.Err != nil || o.Err != nil {
 			continue
 		}

@@ -12,6 +12,7 @@ import (
 	"hybridmr/internal/apps"
 	"hybridmr/internal/cluster"
 	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/sweep"
 	"hybridmr/internal/textplot"
 	"hybridmr/internal/units"
 )
@@ -68,16 +69,16 @@ type phaseSeries struct {
 	execNorm, mapNorm                      []float64 // normalized by up-OFS
 }
 
-// measure runs the §III sweep: each size on each platform, collecting the
-// paper's four metrics. Sizes a platform rejects (up-HDFS beyond 80 GB) are
+// measure assembles one platform's phase series from its precomputed
+// per-size results. Sizes a platform rejects (up-HDFS beyond 80 GB) are
 // omitted from that platform's series, exactly as in the paper's plots.
-func measure(p *mapreduce.Platform, prof apps.Profile, sizesGB []float64, norm map[float64]mapreduce.Result) phaseSeries {
-	s := phaseSeries{name: p.Name}
-	for _, gb := range sizesGB {
-		r := p.RunIsolated(mapreduce.Job{ID: "fig", App: prof, Input: units.GiB(gb)})
+func measure(name string, results []mapreduce.Result, sizesGB []float64, norm map[float64]mapreduce.Result) phaseSeries {
+	s := phaseSeries{name: name}
+	for i, r := range results {
 		if r.Err != nil {
 			continue
 		}
+		gb := sizesGB[i]
 		s.sizesGB = append(s.sizesGB, gb)
 		s.exec = append(s.exec, r.Exec.Seconds())
 		s.mapPhase = append(s.mapPhase, r.MapPhase.Seconds())
@@ -94,14 +95,35 @@ func measure(p *mapreduce.Platform, prof apps.Profile, sizesGB []float64, norm m
 	return s
 }
 
-// normBaseline computes the up-OFS results used as the normalization base
+// measureGrid runs the §III sweep — every size on every platform — through
+// the process-wide sweep runner: the len(order)×len(sizesGB) simulations
+// are independent, fan out across the worker pool and are memoized, so the
+// up-OFS points double as the normalization baseline without resimulating.
+func measureGrid(plats map[mapreduce.Arch]*mapreduce.Platform, order []mapreduce.Arch, prof apps.Profile, sizesGB []float64) map[mapreduce.Arch][]mapreduce.Result {
+	pts := make([]sweep.Point, 0, len(order)*len(sizesGB))
+	for _, a := range order {
+		for _, gb := range sizesGB {
+			pts = append(pts, sweep.Point{
+				Platform: plats[a],
+				Job:      mapreduce.Job{ID: "fig", App: prof, Input: units.GiB(gb)},
+			})
+		}
+	}
+	res := sweep.Default().RunPoints(pts)
+	out := make(map[mapreduce.Arch][]mapreduce.Result, len(order))
+	for i, a := range order {
+		out[a] = res[i*len(sizesGB) : (i+1)*len(sizesGB)]
+	}
+	return out
+}
+
+// normBaseline extracts the up-OFS results used as the normalization base
 // (the paper normalizes execution time and map duration by up-OFS, §III-A).
-func normBaseline(up *mapreduce.Platform, prof apps.Profile, sizesGB []float64) map[float64]mapreduce.Result {
+func normBaseline(results []mapreduce.Result, sizesGB []float64) map[float64]mapreduce.Result {
 	out := make(map[float64]mapreduce.Result, len(sizesGB))
-	for _, gb := range sizesGB {
-		r := up.RunIsolated(mapreduce.Job{ID: "norm", App: prof, Input: units.GiB(gb)})
+	for i, r := range results {
 		if r.Err == nil {
-			out[gb] = r
+			out[sizesGB[i]] = r
 		}
 	}
 	return out
@@ -115,11 +137,12 @@ func measurementFigure(id string, prof apps.Profile, sizesGB []float64, cal mapr
 	if err != nil {
 		return textplot.Figure{}, err
 	}
-	norm := normBaseline(plats[mapreduce.UpOFS], prof, sizesGB)
 	order := []mapreduce.Arch{mapreduce.OutOFS, mapreduce.UpOFS, mapreduce.OutHDFS, mapreduce.UpHDFS}
+	grid := measureGrid(plats, order, prof, sizesGB)
+	norm := normBaseline(grid[mapreduce.UpOFS], sizesGB)
 	var all []phaseSeries
 	for _, a := range order {
-		all = append(all, measure(plats[a], prof, sizesGB, norm))
+		all = append(all, measure(plats[a].Name, grid[a], sizesGB, norm))
 	}
 	panel := func(name, ylabel string, pick func(phaseSeries) []float64, format string) textplot.Panel {
 		p := textplot.Panel{Name: name, XLabel: "input (GB)", YLabel: ylabel}

@@ -1,0 +1,159 @@
+package figures
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/sweep"
+)
+
+// update rewrites the golden snapshots under testdata/golden/. Run
+//
+//	go test ./internal/figures -run TestGolden -update
+//
+// after an intentional model change and review the diff like any other.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenArtifacts are the snapshotted renders: Table I plus the two
+// cross-point figures whose thresholds drive Algorithm 1. They pin the
+// exact rendered bytes, so any drift in the cost model, the sweep runner's
+// result ordering, or the text renderer fails here first.
+func goldenArtifacts(cal mapreduce.Calibration) []struct {
+	name  string
+	build func() (string, error)
+} {
+	return []struct {
+		name  string
+		build func() (string, error)
+	}{
+		{"table1", func() (string, error) { return TableI().Render(), nil }},
+		{"fig7", func() (string, error) {
+			f, err := Fig7(cal)
+			return f.Render(), err
+		}},
+		{"fig8", func() (string, error) {
+			f, err := Fig8(cal)
+			return f.Render(), err
+		}},
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".txt")
+}
+
+// TestGolden compares each artifact's render against its snapshot.
+// The floating-point model is deterministic on a given architecture; if a
+// new target's FPU scheduling legitimately shifts a digit, regenerate with
+// -update and review.
+func TestGolden(t *testing.T) {
+	for _, art := range goldenArtifacts(cal()) {
+		t.Run(art.name, func(t *testing.T) {
+			got, err := art.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := goldenPath(art.name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the snapshot)", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden snapshot %s (regenerate with -update if intentional)\ngot:\n%s\nwant:\n%s",
+					art.name, path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenParallelMatchesSerial is the tentpole's determinism guard:
+// every snapshotted artifact — plus the heavier Fig. 5 and the Fig. 10
+// trace — must render byte-identical whether the sweep runner uses one
+// worker (the historical serial path) or a saturated pool, each with a
+// fresh cache so no memoized result can mask an ordering bug.
+func TestGoldenParallelMatchesSerial(t *testing.T) {
+	old := sweep.Default()
+	defer sweep.SetDefault(old)
+
+	render := func(workers int) map[string]string {
+		sweep.SetDefault(sweep.New(workers))
+		out := make(map[string]string)
+		for _, art := range goldenArtifacts(cal()) {
+			text, err := art.build()
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, art.name, err)
+			}
+			out[art.name] = text
+		}
+		f5, err := Fig5(cal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["fig5"] = f5.Render()
+		f10, err := Fig10(cal(), smallTraceConfig(600))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["fig10"] = f10.Render()
+		return out
+	}
+
+	serial := render(1)
+	for _, workers := range []int{2, 8} {
+		parallel := render(workers)
+		for name, want := range serial {
+			if parallel[name] != want {
+				t.Errorf("%s: %d-worker render differs from serial", name, workers)
+			}
+		}
+	}
+}
+
+// TestParallelSmoke is the -race smoke test of the parallel figure paths:
+// Fig. 5 and Fig. 7 on a saturated fresh-cache pool, checked for shape.
+// Guarded by testing.Short() so `go test -short` stays minimal.
+func TestParallelSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel smoke test skipped in -short mode")
+	}
+	old := sweep.Default()
+	defer sweep.SetDefault(old)
+	sweep.SetDefault(sweep.New(8))
+
+	f5, err := Fig5(cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f5.Panels) != 4 {
+		t.Errorf("Fig5 has %d panels", len(f5.Panels))
+	}
+	f7, err := Fig7(cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f7.Panels) != 1 || len(f7.Panels[0].Series) != 2 {
+		t.Errorf("Fig7 shape: %+v", f7.Panels)
+	}
+	hits, misses := sweep.Default().Cache().Stats()
+	if misses == 0 {
+		t.Error("no simulations ran")
+	}
+	// Fig. 7's 96-step bisection re-probes its own 40-step curve's range
+	// and Fig. 5 shares the up-OFS baseline with its own measurement grid,
+	// so the process-wide cache must have absorbed repeats.
+	if hits == 0 {
+		t.Errorf("no cache hits across Fig5+Fig7 (misses=%d)", misses)
+	}
+}

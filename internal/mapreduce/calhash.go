@@ -1,0 +1,44 @@
+package mapreduce
+
+import "math"
+
+// FNV-1a constants (hash/fnv's 64-bit variant, inlined so hashing a
+// calibration on the sweep cache's hot lookup path allocates nothing).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvWord folds one 64-bit word into an FNV-1a state byte by byte,
+// little-endian, matching hash/fnv over the same byte stream.
+func fnvWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// Hash returns a 64-bit content hash of the calibration: two calibrations
+// hash equal exactly when every field is equal (up to the vanishing FNV
+// collision probability). The sweep cache keys memoized simulation results
+// on it, so re-tuned calibrations never alias the defaults.
+//
+// Float fields are hashed by their IEEE-754 bit patterns, so -0 and +0 (and
+// different NaN payloads) hash differently; Validate rejects both anyway.
+func (c Calibration) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvWord(h, uint64(c.BlockSize))
+	h = fnvWord(h, uint64(c.TaskStartup))
+	h = fnvWord(h, uint64(c.ReduceStartup))
+	h = fnvWord(h, uint64(c.JobSetup))
+	h = fnvWord(h, math.Float64bits(c.ReadDuty))
+	h = fnvWord(h, math.Float64bits(c.WriteDuty))
+	h = fnvWord(h, math.Float64bits(c.ShuffleWriteDuty))
+	h = fnvWord(h, math.Float64bits(c.HeapShuffleFraction))
+	h = fnvWord(h, uint64(c.BytesPerReducer))
+	h = fnvWord(h, math.Float64bits(c.SpillPasses))
+	h = fnvWord(h, uint64(c.ShuffleLatency))
+	return h
+}

@@ -1,0 +1,95 @@
+package mapreduce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hybridmr/internal/units"
+)
+
+// TestCalibrationHashPerField perturbs each field of the default
+// calibration in turn: every perturbation must change the hash, and
+// restoring the field must restore it.
+func TestCalibrationHashPerField(t *testing.T) {
+	base := DefaultCalibration()
+	want := base.Hash()
+	if base.Hash() != want {
+		t.Fatal("hash not deterministic")
+	}
+	perturb := []struct {
+		name string
+		mut  func(*Calibration)
+	}{
+		{"BlockSize", func(c *Calibration) { c.BlockSize += units.MB }},
+		{"TaskStartup", func(c *Calibration) { c.TaskStartup += time.Millisecond }},
+		{"ReduceStartup", func(c *Calibration) { c.ReduceStartup += time.Millisecond }},
+		{"JobSetup", func(c *Calibration) { c.JobSetup += time.Millisecond }},
+		{"ReadDuty", func(c *Calibration) { c.ReadDuty += 0.01 }},
+		{"WriteDuty", func(c *Calibration) { c.WriteDuty += 0.01 }},
+		{"ShuffleWriteDuty", func(c *Calibration) { c.ShuffleWriteDuty += 0.01 }},
+		{"HeapShuffleFraction", func(c *Calibration) { c.HeapShuffleFraction += 0.01 }},
+		{"BytesPerReducer", func(c *Calibration) { c.BytesPerReducer += units.MB }},
+		{"SpillPasses", func(c *Calibration) { c.SpillPasses += 0.5 }},
+		{"ShuffleLatency", func(c *Calibration) { c.ShuffleLatency += time.Millisecond }},
+	}
+	for _, p := range perturb {
+		c := base
+		p.mut(&c)
+		if c == base {
+			t.Fatalf("%s: perturbation did not change the struct", p.name)
+		}
+		if c.Hash() == want {
+			t.Errorf("%s: perturbed calibration hashes equal to the default", p.name)
+		}
+	}
+}
+
+// TestQuickCalibrationHashEquivalence: hash equality tracks field equality
+// on randomly generated calibration pairs — equal structs always hash
+// equal, and (up to the vanishing 64-bit collision probability the sweep
+// cache accepts) unequal structs hash unequal. Pairs are drawn both
+// independently and as single-field perturbations of one another.
+func TestQuickCalibrationHashEquivalence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	cfg := &quick.Config{MaxCount: 300, Rand: rnd}
+
+	prop := func(a, b Calibration) bool {
+		if a == b && a.Hash() != b.Hash() {
+			return false
+		}
+		if a != b && a.Hash() == b.Hash() {
+			return false
+		}
+		copied := a
+		return copied.Hash() == a.Hash()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-field random perturbations of the defaults: the adversarial
+	// near-collision case for a content hash.
+	base := DefaultCalibration()
+	perturbed := func() Calibration {
+		c := base
+		switch rnd.Intn(4) {
+		case 0:
+			c.BlockSize += units.Bytes(rnd.Int63n(1 << 20))
+		case 1:
+			c.TaskStartup += time.Duration(rnd.Int63n(int64(time.Second)))
+		case 2:
+			c.ReadDuty += rnd.Float64()
+		default:
+			c.SpillPasses += rnd.Float64()
+		}
+		return c
+	}
+	for i := 0; i < 300; i++ {
+		c := perturbed()
+		if (c == base) != (c.Hash() == base.Hash()) {
+			t.Fatalf("hash equivalence broken for %+v", c)
+		}
+	}
+}

@@ -63,8 +63,11 @@ func (p *Pool) Release() {
 	p.inUse--
 	if len(p.waiters) > 0 {
 		fn := p.waiters[0]
-		// Shift rather than re-slice forever to keep memory bounded.
+		// Shift rather than re-slice forever to keep memory bounded, and
+		// nil the vacated tail slot so the granted callback's closure (and
+		// whatever job state it captures) is collectable once it runs.
 		copy(p.waiters, p.waiters[1:])
+		p.waiters[len(p.waiters)-1] = nil
 		p.waiters = p.waiters[:len(p.waiters)-1]
 		p.grant(fn)
 	}

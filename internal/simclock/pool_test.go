@@ -1,0 +1,126 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPoolFIFOAmongEqualTimestampWaiters pins the grant discipline the
+// simulated Hadoop 1.x schedulers rely on: when many acquire requests queue
+// up at the same simulated instant, slots are granted strictly in request
+// order, even though grants are delivered through eng.After(0, fn) events
+// rather than synchronously.
+func TestPoolFIFOAmongEqualTimestampWaiters(t *testing.T) {
+	eng := New()
+	pool := NewPool(eng, 1)
+
+	var order []int
+	hold := func(id int) Event {
+		return func(now time.Duration) {
+			order = append(order, id)
+			// Hold the slot across a zero-duration hop, releasing at the
+			// same timestamp — the adversarial case for FIFO drift.
+			eng.After(0, func(time.Duration) { pool.Release() })
+		}
+	}
+	// All ten requests are issued from distinct events at t=0.
+	const n = 10
+	for i := 0; i < n; i++ {
+		i := i
+		eng.At(0, func(time.Duration) { pool.Acquire(hold(i)) })
+	}
+	eng.Run()
+
+	if len(order) != n {
+		t.Fatalf("granted %d of %d acquires", len(order), n)
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("grant order %v: position %d got waiter %d, want FIFO", order, i, id)
+		}
+	}
+	if pool.InUse() != 0 || pool.Queued() != 0 {
+		t.Errorf("pool not drained: inUse=%d queued=%d", pool.InUse(), pool.Queued())
+	}
+	if pool.Peak() != 1 {
+		t.Errorf("peak %d, want 1", pool.Peak())
+	}
+}
+
+// TestPoolFIFOAcrossReleases interleaves releases and new acquires at one
+// timestamp: a request that arrives while earlier waiters still queue must
+// not jump the queue even if a slot frees between them.
+func TestPoolFIFOAcrossReleases(t *testing.T) {
+	eng := New()
+	pool := NewPool(eng, 2)
+
+	var order []int
+	acquire := func(id int, hold time.Duration) Event {
+		return func(time.Duration) {
+			pool.Acquire(func(time.Duration) {
+				order = append(order, id)
+				eng.After(hold, func(time.Duration) { pool.Release() })
+			})
+		}
+	}
+	eng.At(0, acquire(0, 5*time.Second))
+	eng.At(0, acquire(1, 5*time.Second))
+	eng.At(time.Second, acquire(2, time.Second)) // queues behind a full pool
+	eng.At(time.Second, acquire(3, time.Second))
+	// At t=5s both holders release; 2 must be granted before 3, and a
+	// fresh request issued at the same instant must queue behind both.
+	eng.At(5*time.Second, acquire(4, time.Second))
+	eng.Run()
+
+	want := []int{0, 1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("granted %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPoolOverReleasePanics pins Release's over-release guard.
+func TestPoolOverReleasePanics(t *testing.T) {
+	eng := New()
+	pool := NewPool(eng, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	pool.Release()
+}
+
+// TestPoolWaiterQueueDoesNotRetainGranted verifies the shift in Release
+// clears the vacated tail slot: after all waiters are granted the backing
+// array holds no stale callback references.
+func TestPoolWaiterQueueDoesNotRetainGranted(t *testing.T) {
+	eng := New()
+	pool := NewPool(eng, 1)
+	done := 0
+	for i := 0; i < 4; i++ {
+		pool.Acquire(func(time.Duration) {
+			done++
+			eng.After(0, func(time.Duration) { pool.Release() })
+		})
+	}
+	// Before draining, three requests queue; the backing array must be
+	// nil beyond the live length once they are granted.
+	if pool.Queued() != 3 {
+		t.Fatalf("queued %d, want 3", pool.Queued())
+	}
+	eng.Run()
+	if done != 4 {
+		t.Fatalf("granted %d of 4", done)
+	}
+	tail := pool.waiters[:cap(pool.waiters)]
+	for i, fn := range tail {
+		if fn != nil {
+			t.Errorf("waiters backing array slot %d retains a granted callback", i)
+		}
+	}
+}

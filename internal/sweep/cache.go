@@ -1,0 +1,181 @@
+package sweep
+
+import (
+	"math"
+	"sync"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/cluster"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/units"
+)
+
+// Key identifies one isolated simulation point by content: the platform
+// (name plus a fingerprint of its cluster spec and file system, so ablation
+// variants never alias the Table I architectures), the application profile,
+// the job's size and task-layout overrides, and the calibration hash.
+// Job.ID and Job.Submit are deliberately excluded — RunIsolated ignores
+// them, which is what lets "fig", "norm" and "sweep" probes of the same
+// point share one simulation.
+type Key struct {
+	Platform string
+	Spec     uint64
+	App      string
+	AppFP    uint64
+	Input    units.Bytes
+	Reducers int
+	MapTasks int
+	Cal      uint64
+}
+
+// KeyFor builds the content key of running job isolated on p.
+func KeyFor(p *mapreduce.Platform, job mapreduce.Job) Key {
+	return Key{
+		Platform: p.Name,
+		Spec:     specFP(p.Spec, p.FS.Name()),
+		App:      job.App.Name,
+		AppFP:    profileFP(job.App),
+		Input:    job.Input,
+		Reducers: job.Reducers,
+		MapTasks: job.MapTasks,
+		Cal:      p.Cal.Hash(),
+	}
+}
+
+// hashFP accumulates words into an allocation-free FNV-1a fingerprint
+// (KeyFor runs on the cache's hot lookup path, once per simulation probe).
+type hashFP uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func newFP() hashFP { return fnvOffset64 }
+
+func (f hashFP) word(v uint64) hashFP {
+	h := uint64(f)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return hashFP(h)
+}
+
+func (f hashFP) float(v float64) hashFP { return f.word(math.Float64bits(v)) }
+
+func (f hashFP) str(s string) hashFP {
+	f = f.word(uint64(len(s)))
+	h := uint64(f)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return hashFP(h)
+}
+
+func (f hashFP) flag(b bool) hashFP {
+	if b {
+		return f.word(1)
+	}
+	return f.word(0)
+}
+
+// specFP fingerprints the cluster spec and file-system name, covering every
+// field the cost model reads, so two platforms that share a name but differ
+// in hardware (e.g. an ablation's no-RAM-disk variant) get distinct keys.
+func specFP(s cluster.Spec, fsName string) uint64 {
+	m := s.Machine
+	return uint64(newFP().
+		str(s.Name).
+		str(fsName).
+		word(uint64(s.Machines)).
+		float(s.MapSlotFraction).
+		str(m.Name).
+		word(uint64(m.Cores)).
+		float(m.CoreGHz).
+		float(m.CPUFactor).
+		word(uint64(m.RAM)).
+		word(uint64(m.HeapShuffle)).
+		word(uint64(m.HeapMap)).
+		word(uint64(m.DiskCapacity)).
+		float(float64(m.DiskBW)).
+		float(float64(m.NICBW)).
+		flag(m.RAMDisk).
+		float(float64(m.RAMDiskBW)).
+		float(m.PriceUSD))
+}
+
+// profileFP fingerprints the application profile's model parameters, so a
+// re-tuned profile reusing a paper app's name cannot alias its results.
+func profileFP(p apps.Profile) uint64 {
+	return uint64(newFP().
+		word(uint64(p.Class)).
+		float(float64(p.ShuffleInputRatio)).
+		float(float64(p.OutputShuffleRatio)).
+		flag(p.MapReadsInput).
+		float(float64(p.MapFSWriteRatio)).
+		float(float64(p.MapRate)).
+		float(float64(p.ReduceRate)))
+}
+
+// Cache memoizes isolated simulation results by Key. It is safe for
+// concurrent use; concurrent requests for the same key run the simulation
+// exactly once (the losers block until the winner's result is ready).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	hits    uint64
+	misses  uint64
+}
+
+type entry struct {
+	once sync.Once
+	res  mapreduce.Result
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{entries: make(map[Key]*entry)} }
+
+// Do returns the cached result for k, computing it with compute on the
+// first request. Every simulation (and its error, if the platform rejects
+// the job) is computed exactly once per key per cache lifetime.
+func (c *Cache) Do(k Key, compute func() mapreduce.Result) mapreduce.Result {
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		e = &entry{}
+		c.entries[k] = e
+		c.misses++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.res = compute() })
+	return e.res
+}
+
+// RunIsolated is Platform.RunIsolated memoized through the cache. The
+// returned result carries the caller's Job (the key excludes Job.ID and
+// Job.Submit, so a cached result may have been computed under another ID).
+func (c *Cache) RunIsolated(p *mapreduce.Platform, job mapreduce.Job) mapreduce.Result {
+	r := c.Do(KeyFor(p, job), func() mapreduce.Result { return p.RunIsolated(job) })
+	r.Job = job
+	return r
+}
+
+// Stats returns the lookup counters; hits+misses equals the total number of
+// Do calls, and misses equals the number of distinct keys ever requested.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of memoized points.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
