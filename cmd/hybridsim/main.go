@@ -12,6 +12,14 @@
 //
 // The trace mode runs the workload on the hybrid architecture and on the
 // THadoop/RHadoop baselines and prints per-class summaries.
+//
+// Resilience experiment: any of -faults, -failures or -stragglers turns the
+// trace mode into a fault replay comparing the failure-aware hybrid, the
+// static hybrid, both baselines and a clean reference:
+//
+//	hybridsim -jobs 600 -faults demo
+//	hybridsim -jobs 600 -faults 'up:crash@30m;up:recover@4h'
+//	hybridsim -jobs 600 -faults 'mtbf:seed=1,mttr=30m,out=6h' -failures 0.05
 package main
 
 import (
@@ -23,27 +31,44 @@ import (
 
 	"hybridmr/internal/apps"
 	"hybridmr/internal/core"
+	"hybridmr/internal/faults"
+	"hybridmr/internal/figures"
 	"hybridmr/internal/mapreduce"
 	"hybridmr/internal/stats"
+	"hybridmr/internal/sweep"
 	"hybridmr/internal/units"
 	"hybridmr/internal/workload"
 )
 
 func main() {
 	var (
-		app     = flag.String("app", "", "application: wordcount, grep, sort, dfsio-write, dfsio-read")
-		size    = flag.String("size", "", "input size, e.g. 32GB")
-		arch    = flag.String("arch", "all", "architecture: up-OFS, up-HDFS, out-OFS, out-HDFS, or all")
-		trace   = flag.String("trace", "", "trace file (CSV or JSON) to run the §V experiment on")
-		jobs    = flag.Int("jobs", 0, "generate a synthetic trace with this many jobs and run the §V experiment")
-		seed    = flag.Int64("seed", 2009, "seed for generated traces")
-		balance = flag.Bool("balance", false, "enable the §VII load-balancing extension")
-		hist    = flag.Bool("hist", false, "print execution-time histograms in trace mode")
+		app        = flag.String("app", "", "application: wordcount, grep, sort, dfsio-write, dfsio-read")
+		size       = flag.String("size", "", "input size, e.g. 32GB")
+		arch       = flag.String("arch", "all", "architecture: up-OFS, up-HDFS, out-OFS, out-HDFS, or all")
+		trace      = flag.String("trace", "", "trace file (CSV or JSON) to run the §V experiment on")
+		jobs       = flag.Int("jobs", 0, "generate a synthetic trace with this many jobs and run the §V experiment")
+		seed       = flag.Int64("seed", 2009, "seed for generated traces")
+		balance    = flag.Bool("balance", false, "enable the §VII load-balancing extension")
+		hist       = flag.Bool("hist", false, "print execution-time histograms in trace mode")
+		faultSpec  = flag.String("faults", "", "fault schedule: 'demo', 'mtbf:seed=S,...' or 'cluster:kind@time[xN];...' — runs the resilience experiment in trace mode")
+		failures   = flag.Float64("failures", 0, "per-task-attempt failure probability in [0,1)")
+		stragglers = flag.Float64("stragglers", 0, "straggler duration-jitter fraction in [0,10]")
+		speculate  = flag.Bool("speculate", false, "enable speculative execution for injected stragglers")
+		injectSeed = flag.Int64("inject-seed", 1, "seed for failure/straggler injection")
+		parallel   = flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *parallel != 0 {
+		sweep.SetDefaultWorkers(*parallel)
+	}
+	inj := core.Inject{FailureRate: *failures, StragglerFrac: *stragglers, Speculate: *speculate, Seed: *injectSeed}
 
 	switch {
 	case *trace != "" || *jobs > 0:
+		if *faultSpec != "" || inj.FailureRate != 0 || inj.StragglerFrac != 0 {
+			runResilience(*trace, *jobs, *seed, *faultSpec, inj)
+			return
+		}
 		runTrace(*trace, *jobs, *seed, *balance, *hist)
 	case *app != "" && *size != "":
 		runSingle(*app, *size, *arch)
@@ -51,6 +76,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runResilience replays the trace under a fault schedule and injection,
+// comparing the failure-aware hybrid against static Algorithm 1 and the
+// baselines.
+func runResilience(path string, jobs int, seed int64, spec string, inj core.Inject) {
+	var sched *faults.Schedule
+	if spec != "" {
+		var err error
+		sched, err = faults.ParseSchedule(spec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	trace := loadTrace(path, jobs, seed)
+	fmt.Print(workload.Summarize(trace))
+	fmt.Println()
+	r, err := figures.RunResilienceJobs(mapreduce.DefaultCalibration(), trace, sched, inj)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(r.Render())
 }
 
 func runSingle(appName, sizeStr, archName string) {
@@ -99,7 +146,9 @@ func runSingle(appName, sizeStr, archName string) {
 	}
 }
 
-func runTrace(path string, jobs int, seed int64, balance, hist bool) {
+// loadTrace reads the trace file when given, otherwise generates a synthetic
+// trace preserving the full 6000-job day's arrival rate.
+func loadTrace(path string, jobs int, seed int64) []workload.Job {
 	var (
 		trace []workload.Job
 		err   error
@@ -115,20 +164,21 @@ func runTrace(path string, jobs int, seed int64, balance, hist bool) {
 		} else {
 			trace, err = workload.ReadCSV(f)
 		}
-		if err != nil {
-			fatal(err)
-		}
 	} else {
 		cfg := workload.DefaultConfig()
 		cfg.Jobs = jobs
 		cfg.Seed = seed
 		cfg.Duration = time.Duration(float64(cfg.Duration) * float64(jobs) / 6000)
 		trace, err = workload.Generate(cfg)
-		if err != nil {
-			fatal(err)
-		}
 	}
+	if err != nil {
+		fatal(err)
+	}
+	return trace
+}
 
+func runTrace(path string, jobs int, seed int64, balance, hist bool) {
+	trace := loadTrace(path, jobs, seed)
 	cal := mapreduce.DefaultCalibration()
 	hybrid, err := core.NewHybrid(cal)
 	if err != nil {

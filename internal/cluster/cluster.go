@@ -127,6 +127,17 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// WithMachines returns a copy of the spec resized to n machines, validating
+// the result. It is how the fault layer derives a degraded cluster: a spec
+// with every machine down (n = 0) is an error, not a cluster.
+func (s Spec) WithMachines(n int) (Spec, error) {
+	s.Machines = n
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
 // MapSlotsPerMachine returns the per-machine map slot count.
 func (s Spec) MapSlotsPerMachine() int {
 	n := int(float64(s.Machine.Cores)*s.MapSlotFraction + 0.5)

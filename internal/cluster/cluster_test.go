@@ -163,6 +163,28 @@ func TestValidationErrors(t *testing.T) {
 	}
 }
 
+// WithMachines derives degraded specs for the fault layer: shrinking to any
+// positive count works, shrinking to zero machines (a fully crashed cluster)
+// must error — never panic — and the original spec is left untouched.
+func TestWithMachines(t *testing.T) {
+	up := ScaleUp2()
+	d, err := up.WithMachines(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Machines != 1 || d.MapSlots() != up.MapSlots()/2 {
+		t.Errorf("degraded spec = %d machines / %d map slots", d.Machines, d.MapSlots())
+	}
+	if up.Machines != 2 {
+		t.Error("WithMachines mutated the receiver")
+	}
+	for _, n := range []int{0, -1} {
+		if _, err := up.WithMachines(n); err == nil {
+			t.Errorf("WithMachines(%d) accepted", n)
+		}
+	}
+}
+
 // The slot split always leaves at least one map and one reduce slot even on
 // tiny machines.
 func TestSlotSplitBounds(t *testing.T) {

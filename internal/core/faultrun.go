@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hybridmr/internal/faults"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/simclock"
+	"hybridmr/internal/sweep"
+	"hybridmr/internal/workload"
+)
+
+// Inject bundles the simulator's task-level chaos knobs (failure and
+// straggler injection) so the CLI and the resilience experiments configure
+// both halves of the hybrid — and the baselines — identically.
+type Inject struct {
+	// FailureRate is the per-task-attempt failure probability; 0 disables.
+	FailureRate float64
+	// StragglerFrac is the duration-jitter fraction; 0 disables.
+	StragglerFrac float64
+	// Speculate enables speculative execution for stragglers.
+	Speculate bool
+	// Seed seeds the injection RNGs (stragglers use Seed+1, so the two
+	// streams stay independent).
+	Seed int64
+}
+
+// Apply configures a simulator with the injection knobs, surfacing the
+// simulator's own validation errors verbatim.
+func (in Inject) Apply(sim *mapreduce.Simulator) error {
+	if in.FailureRate != 0 {
+		if err := sim.InjectFailures(in.FailureRate, in.Seed); err != nil {
+			return err
+		}
+	}
+	if in.StragglerFrac != 0 {
+		if err := sim.InjectStragglers(in.StragglerFrac, in.Speculate, in.Seed+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FaultRun configures a trace replay under a fault schedule.
+type FaultRun struct {
+	// Schedule is the fault timeline; nil or empty replays a clean run.
+	Schedule *faults.Schedule
+	// FailureAware extends Algorithm 1 with per-half health: a job whose
+	// preferred half is degraded is rerouted when the other half's
+	// estimated completion wins, and failed jobs are retried with bounded
+	// attempts and exponential backoff in simulated time. False replays
+	// the paper's static Algorithm 1 under the same faults.
+	FailureAware bool
+	// MaxJobAttempts bounds submissions per job under FailureAware
+	// (including the first); ≤ 0 means 3.
+	MaxJobAttempts int
+	// RetryBackoff is the first retry delay, doubling per attempt; ≤ 0
+	// means 30s of simulated time.
+	RetryBackoff time.Duration
+	// Inject adds task-level chaos on both halves.
+	Inject Inject
+	// Runner memoizes the ETA probes of the failure-aware scheduler; nil
+	// uses the process-wide default.
+	Runner *sweep.Runner
+}
+
+func (opt *FaultRun) defaults() (int, time.Duration, *sweep.Runner) {
+	maxAttempts := opt.MaxJobAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	backoff := opt.RetryBackoff
+	if backoff <= 0 {
+		backoff = 30 * time.Second
+	}
+	runner := opt.Runner
+	if runner == nil {
+		runner = sweep.Default()
+	}
+	return maxAttempts, backoff, runner
+}
+
+// RunFaulted executes the workload on the hybrid under a fault schedule.
+// With a nil/empty schedule, no injection and FailureAware off it reproduces
+// Run exactly. The returned error reports an unsurvivable or incoherent
+// schedule (or bad injection bounds), before any simulation runs.
+func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, error) {
+	if h.Sched == nil {
+		return nil, fmt.Errorf("core: hybrid has no scheduler")
+	}
+	maxAttempts, backoff, runner := opt.defaults()
+	fp := opt.Schedule.Fingerprint()
+
+	eng := simclock.New()
+	upSim := mapreduce.NewSimulatorOn(eng, h.Up)
+	outSim := mapreduce.NewSimulatorOn(eng, h.Out)
+	upSim.SetPolicy(h.Policy)
+	outSim.SetPolicy(h.Policy)
+	if err := opt.Inject.Apply(upSim); err != nil {
+		return nil, err
+	}
+	if err := opt.Inject.Apply(outSim); err != nil {
+		return nil, err
+	}
+	// Faults are scheduled before any submission, so at equal instants the
+	// capacity change precedes the arrival (the engine is FIFO per tick).
+	if err := upSim.ScheduleFaults(opt.Schedule.ForCluster(faults.ClusterUp)); err != nil {
+		return nil, err
+	}
+	if err := outSim.ScheduleFaults(opt.Schedule.ForCluster(faults.ClusterOut)); err != nil {
+		return nil, err
+	}
+
+	// state tracks one workload job across its (possibly retried)
+	// submissions; the latest routing decision wins.
+	type state struct {
+		job      workload.Job
+		target   Target // Algorithm 1's static choice
+		dest     Target // where the job actually went
+		rerouted bool
+		attempts int
+	}
+	states := make(map[string]*state, len(jobs))
+	var results []JobResult
+
+	var submit func(job workload.Job)
+	submit = func(job workload.Job) {
+		st := states[job.ID]
+		st.attempts++
+		target := h.Sched.Decide(job)
+		dest := target
+		rerouted := false
+		if opt.FailureAware {
+			if d := h.rerouteForHealth(job, target, upSim, outSim, runner, fp); d != target {
+				dest, rerouted = d, true
+			}
+		}
+		if h.Balance != nil {
+			dest = h.Balance.Divert(dest, upSim, outSim)
+		}
+		st.target, st.dest, st.rerouted = target, dest, rerouted
+		if dest == ScaleUp {
+			upSim.SubmitNow(job.MapReduceJob())
+		} else {
+			outSim.SubmitNow(job.MapReduceJob())
+		}
+	}
+
+	record := func(r mapreduce.Result, now time.Duration) {
+		st, ok := states[r.Job.ID]
+		if !ok {
+			panic(fmt.Sprintf("core: result for unknown job %s", r.Job.ID))
+		}
+		if r.Err != nil && opt.FailureAware && st.attempts < maxAttempts {
+			// Exponential backoff in simulated time; the retry is
+			// re-routed at its new arrival instant, so it sees the
+			// cluster's health then.
+			delay := backoff << (st.attempts - 1)
+			eng.After(delay, func(time.Duration) { submit(st.job) })
+			return
+		}
+		// Time the job from its original arrival: queueing plus every
+		// retry round trip counts against it.
+		r.Submit = st.job.Submit
+		r.Exec = r.End - st.job.Submit
+		results = append(results, JobResult{
+			Result:   r,
+			Target:   st.target,
+			Diverted: st.dest != st.target,
+			Rerouted: st.rerouted,
+			Attempts: st.attempts,
+		})
+	}
+	upSim.SetResultHook(record)
+	outSim.SetResultHook(record)
+
+	for _, job := range jobs {
+		job := job
+		states[job.ID] = &state{job: job}
+		eng.At(job.Submit, func(time.Duration) { submit(job) })
+	}
+	eng.Run()
+
+	sort.Slice(results, func(i, j int) bool {
+		a, b := results[i], results[j]
+		if a.Submit != b.Submit {
+			return a.Submit < b.Submit
+		}
+		return a.Job.ID < b.Job.ID
+	})
+	return results, nil
+}
+
+// rerouteForHealth is the failure-aware extension of Algorithm 1: when the
+// preferred half is degraded (machines or storage down), both halves'
+// completion times are estimated — the isolated run on the half's currently
+// degraded platform view, stretched by its queue backlog — and the job moves
+// only when the other half strictly wins. A healthy preferred half is never
+// second-guessed, so under an empty schedule the routing is exactly
+// Algorithm 1's.
+func (h *Hybrid) rerouteForHealth(job workload.Job, preferred Target, upSim, outSim *mapreduce.Simulator, runner *sweep.Runner, faultsFP uint64) Target {
+	prefSim, altSim, alt := upSim, outSim, ScaleOut
+	if preferred == ScaleOut {
+		prefSim, altSim, alt = outSim, upSim, ScaleUp
+	}
+	if prefSim.MachinesDown() == 0 && prefSim.StorageDown() == 0 {
+		return preferred
+	}
+	prefETA, prefOK := etaOn(prefSim, job, runner, faultsFP)
+	altETA, altOK := etaOn(altSim, job, runner, faultsFP)
+	switch {
+	case !prefOK && altOK:
+		// The degraded half cannot even plan the job (capacity); the
+		// other half can.
+		return alt
+	case prefOK && altOK && altETA < prefETA:
+		return alt
+	}
+	return preferred
+}
+
+// etaOn estimates a job's completion time on one half right now: the
+// isolated execution on the half's degraded platform view, scaled by
+// (1 + queued maps / map slots) for the backlog in front of it. Estimates are
+// memoized under the fault schedule's fingerprint, so they never alias clean
+// sweep entries.
+func etaOn(sim *mapreduce.Simulator, job workload.Job, runner *sweep.Runner, faultsFP uint64) (time.Duration, bool) {
+	p, err := sim.PlatformNow()
+	if err != nil {
+		return 0, false
+	}
+	r := runner.RunIsolatedFaulted(p, job.MapReduceJob(), faultsFP)
+	if r.Err != nil {
+		return 0, false
+	}
+	load := 1 + float64(sim.MapQueueDepth())/float64(sim.MapSlotCapacity())
+	return time.Duration(float64(r.Exec) * load), true
+}
+
+// RunBaselineFaulted is RunBaseline under a fault timeline and injection:
+// the undivided baseline replays the given events (callers pass
+// Schedule.ForBaseline()). Failed jobs stay failed — the traditional
+// architectures have no second half to retry on.
+func RunBaselineFaulted(p *mapreduce.Platform, jobs []workload.Job, policy mapreduce.Policy, events []faults.Event, inj Inject) ([]mapreduce.Result, error) {
+	sim := mapreduce.NewSimulator(p)
+	sim.SetPolicy(policy)
+	if err := inj.Apply(sim); err != nil {
+		return nil, err
+	}
+	if err := sim.ScheduleFaults(events); err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		sim.Submit(j.MapReduceJob())
+	}
+	return sim.Run(), nil
+}

@@ -54,9 +54,16 @@ type JobResult struct {
 	mapreduce.Result
 	// Target is the cluster Algorithm 1 chose.
 	Target Target
-	// Diverted reports that the load balancer overrode the choice (the
-	// job then ran on the opposite cluster).
+	// Diverted reports that the job ran on the opposite cluster from
+	// Target — because the load balancer overrode the choice, or (under
+	// RunFaulted) the failure-aware scheduler rerouted it.
 	Diverted bool
+	// Rerouted reports that the failure-aware scheduler moved the job off
+	// its degraded preferred half (set by RunFaulted only).
+	Rerouted bool
+	// Attempts counts the job's submissions including the first (set by
+	// RunFaulted only; Run leaves it 0).
+	Attempts int
 }
 
 // Ran returns where the job actually executed.

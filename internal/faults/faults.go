@@ -1,0 +1,298 @@
+// Package faults models timed infrastructure failures for the hybrid
+// architecture's resilience experiments: machine crashes and recoveries,
+// OrangeFS storage-server loss (stripe-width shrink plus rebuild bandwidth
+// tax) and HDFS datanode loss (re-replication traffic, remote reads for
+// under-replicated blocks). A Schedule is a deterministic list of events the
+// simulator replays against a cluster; a Poisson generator synthesizes
+// schedules from per-machine-class MTBF/MTTR figures. Everything is seeded
+// and content-fingerprinted, so faulted runs are reproducible and never
+// alias clean entries in the sweep memoization cache.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind enumerates the fault event types.
+type Kind int
+
+const (
+	// MachineCrash takes Count compute machines of the target cluster
+	// offline: their slots disappear, their in-flight tasks die and — per
+	// Hadoop 1.x tasktracker-loss semantics — their completed map outputs
+	// are lost and re-executed.
+	MachineCrash Kind = iota
+	// MachineRecover brings Count machines back; their slots rejoin the
+	// pool empty.
+	MachineRecover
+	// OFSServerDown removes Count OFS storage servers: files striped over
+	// fewer servers, and the rebuild traffic taxes the survivors'
+	// bandwidth. OFS is mounted by every cluster, so these events are
+	// cluster-wide (Cluster is normalized to "all").
+	OFSServerDown
+	// OFSServerUp restores Count OFS servers.
+	OFSServerUp
+	// DatanodeDown removes Count HDFS datanodes of the target cluster:
+	// capacity shrinks, under-replicated blocks are read remotely and
+	// re-replication traffic taxes the surviving disks and NICs.
+	DatanodeDown
+	// DatanodeUp restores Count datanodes.
+	DatanodeUp
+)
+
+// String implements fmt.Stringer with the parser's spelling.
+func (k Kind) String() string {
+	switch k {
+	case MachineCrash:
+		return "crash"
+	case MachineRecover:
+		return "recover"
+	case OFSServerDown:
+		return "ofs-down"
+	case OFSServerUp:
+		return "ofs-up"
+	case DatanodeDown:
+		return "dn-down"
+	case DatanodeUp:
+		return "dn-up"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IsRecovery reports whether the kind restores capacity.
+func (k Kind) IsRecovery() bool {
+	return k == MachineRecover || k == OFSServerUp || k == DatanodeUp
+}
+
+// counterpart returns the down-kind a recovery undoes (identity for
+// down-kinds).
+func (k Kind) counterpart() Kind {
+	switch k {
+	case MachineRecover:
+		return MachineCrash
+	case OFSServerUp:
+		return OFSServerDown
+	case DatanodeUp:
+		return DatanodeDown
+	default:
+		return k
+	}
+}
+
+// Cluster labels name the half of the hybrid an event applies to. The
+// baselines (THadoop/RHadoop, one undivided cluster for the same total
+// price) adopt every compute event regardless of label — the same physical
+// failure process hits their pool.
+const (
+	// ClusterUp targets the scale-up half.
+	ClusterUp = "up"
+	// ClusterOut targets the scale-out half.
+	ClusterOut = "out"
+	// ClusterAll targets every cluster (mandatory for OFS events — the
+	// remote file system is shared).
+	ClusterAll = "all"
+)
+
+// Event is one timed fault.
+type Event struct {
+	// At is the simulated instant the event fires.
+	At time.Duration
+	// Kind is the fault type.
+	Kind Kind
+	// Cluster is "up", "out" or "all".
+	Cluster string
+	// Count is the number of machines/servers affected (≥ 1).
+	Count int
+}
+
+// String renders the event in the parser's syntax.
+func (e Event) String() string {
+	return fmt.Sprintf("%s:%s@%vx%d", e.Cluster, e.Kind, e.At, e.Count)
+}
+
+// validKind reports whether k is one of the declared kinds.
+func validKind(k Kind) bool { return k >= MachineCrash && k <= DatanodeUp }
+
+// Validate reports malformed fields on one event.
+func (e Event) Validate() error {
+	switch {
+	case e.At < 0:
+		return fmt.Errorf("faults: event %v: negative time", e)
+	case e.Count < 1:
+		return fmt.Errorf("faults: event %v: count %d", e, e.Count)
+	case !validKind(e.Kind):
+		return fmt.Errorf("faults: event at %v: unknown kind %d", e.At, int(e.Kind))
+	case e.Cluster != ClusterUp && e.Cluster != ClusterOut && e.Cluster != ClusterAll:
+		return fmt.Errorf("faults: event %v: cluster %q (want up, out or all)", e, e.Cluster)
+	case (e.Kind == OFSServerDown || e.Kind == OFSServerUp) && e.Cluster != ClusterAll:
+		return fmt.Errorf("faults: event %v: OFS is shared by every cluster; use cluster %q", e, ClusterAll)
+	}
+	return nil
+}
+
+// Schedule is an ordered fault timeline. Construct with NewSchedule (which
+// sorts and validates) or Generate.
+type Schedule struct {
+	// Events is sorted by time (ties broken by cluster, kind, count) so
+	// replays are deterministic regardless of authoring order.
+	Events []Event
+}
+
+// NewSchedule sorts the events deterministically and validates the result.
+func NewSchedule(events []Event) (*Schedule, error) {
+	s := &Schedule{Events: append([]Event(nil), events...)}
+	sortEvents(s.Events)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sortEvents orders events by (time, cluster, kind, count): a total,
+// content-derived order, so two schedules with the same events replay — and
+// fingerprint — identically.
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Cluster != b.Cluster {
+			return a.Cluster < b.Cluster
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Count < b.Count
+	})
+}
+
+// Validate checks every event plus the cross-event invariants: events in
+// time order, and for each (cluster, resource) stream no recovery may exceed
+// the outstanding losses at its instant — recovering a machine that never
+// crashed is a schedule bug, not a scenario.
+//
+// Whether the losses fit a concrete cluster (a crash may never leave zero
+// machines) is checked against real capacities by the simulator's
+// ScheduleFaults, which knows the machine and server counts.
+func (s *Schedule) Validate() error {
+	down := make(map[string]int)
+	var last time.Duration
+	for i, e := range s.Events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		if e.At < last {
+			return fmt.Errorf("faults: events out of order at %v (use NewSchedule)", e.At)
+		}
+		last = e.At
+		key := e.Cluster + "/" + e.Kind.counterpart().String()
+		if e.Kind.IsRecovery() {
+			down[key] -= e.Count
+			if down[key] < 0 {
+				return fmt.Errorf("faults: event %d (%v): recovery before any matching loss", i, e)
+			}
+		} else {
+			down[key] += e.Count
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the schedule has no events; a nil schedule is empty.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// ForCluster returns the events a cluster labeled name must replay: its own
+// plus the cluster-wide ones. Storage events that do not match the cluster's
+// file system are filtered later by the simulator.
+func (s *Schedule) ForCluster(name string) []Event {
+	if s == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range s.Events {
+		if e.Cluster == name || e.Cluster == ClusterAll {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ForBaseline returns every event: an undivided baseline cluster (THadoop,
+// RHadoop) absorbs the whole failure process that the hybrid splits between
+// its halves.
+func (s *Schedule) ForBaseline() []Event {
+	if s == nil {
+		return nil
+	}
+	return append([]Event(nil), s.Events...)
+}
+
+// FNV-1a constants, matching the sweep cache's inlined variant.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func fnvStr(h uint64, s string) uint64 {
+	h = fnvWord(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Fingerprint returns a 64-bit content hash of the schedule: two schedules
+// fingerprint equal exactly when their (sorted) events are field-for-field
+// equal. It composes with Calibration.Hash() in the sweep cache's key, so a
+// simulation under a fault schedule can never alias a clean run — or a run
+// under a different schedule. A nil or empty schedule fingerprints to 0, the
+// clean-run sentinel.
+func (s *Schedule) Fingerprint() uint64 {
+	if s.Empty() {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	for _, e := range s.Events {
+		h = fnvWord(h, uint64(e.At))
+		h = fnvWord(h, uint64(e.Kind))
+		h = fnvStr(h, e.Cluster)
+		h = fnvWord(h, uint64(e.Count))
+	}
+	if h == 0 {
+		h = 1 // keep 0 reserved for "no faults"
+	}
+	return h
+}
+
+// Demo returns the reference resilience scenario used by the golden test and
+// `hybridsim -faults demo`: one of the two scale-up machines crashes half an
+// hour into the trace and stays down for most of the day — the asymmetric
+// blast radius the hybrid design begs to be tested against (50% of that
+// half's slots versus 8% for one scale-out machine) — plus a transient loss
+// of 4 of the 32 shared OFS servers.
+func Demo() *Schedule {
+	s, err := NewSchedule([]Event{
+		{At: 30 * time.Minute, Kind: MachineCrash, Cluster: ClusterUp, Count: 1},
+		{At: 10 * time.Hour, Kind: MachineRecover, Cluster: ClusterUp, Count: 1},
+		{At: 2 * time.Hour, Kind: OFSServerDown, Cluster: ClusterAll, Count: 4},
+		{At: 5 * time.Hour, Kind: OFSServerUp, Cluster: ClusterAll, Count: 4},
+	})
+	if err != nil {
+		panic(err) // static scenario; cannot fail
+	}
+	return s
+}

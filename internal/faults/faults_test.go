@@ -1,0 +1,202 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventValidate(t *testing.T) {
+	good := Event{At: time.Minute, Kind: MachineCrash, Cluster: ClusterUp, Count: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Event{
+		{At: -time.Second, Kind: MachineCrash, Cluster: ClusterUp, Count: 1},
+		{At: 0, Kind: MachineCrash, Cluster: ClusterUp, Count: 0},
+		{At: 0, Kind: Kind(99), Cluster: ClusterUp, Count: 1},
+		{At: 0, Kind: MachineCrash, Cluster: "palmetto", Count: 1},
+		// OFS is shared: per-half OFS events are schedule bugs.
+		{At: 0, Kind: OFSServerDown, Cluster: ClusterUp, Count: 1},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad event %d (%+v) accepted", i, e)
+		}
+	}
+}
+
+// Recovery before any matching loss must error, not panic — the
+// degraded-Spec validation satellite.
+func TestScheduleRecoveryBeforeCrash(t *testing.T) {
+	_, err := NewSchedule([]Event{
+		{At: time.Hour, Kind: MachineRecover, Cluster: ClusterUp, Count: 1},
+	})
+	if err == nil || !strings.Contains(err.Error(), "recovery before") {
+		t.Fatalf("recovery-before-crash accepted: %v", err)
+	}
+	// A recovery of more machines than crashed is the same bug.
+	_, err = NewSchedule([]Event{
+		{At: time.Hour, Kind: MachineCrash, Cluster: ClusterUp, Count: 1},
+		{At: 2 * time.Hour, Kind: MachineRecover, Cluster: ClusterUp, Count: 2},
+	})
+	if err == nil {
+		t.Fatal("over-recovery accepted")
+	}
+	// Streams are independent per cluster and resource: an out-half
+	// recovery cannot consume an up-half crash.
+	_, err = NewSchedule([]Event{
+		{At: time.Hour, Kind: MachineCrash, Cluster: ClusterUp, Count: 1},
+		{At: 2 * time.Hour, Kind: MachineRecover, Cluster: ClusterOut, Count: 1},
+	})
+	if err == nil {
+		t.Fatal("cross-cluster recovery accepted")
+	}
+}
+
+// NewSchedule sorts deterministically: authoring order never changes the
+// replay or the fingerprint.
+func TestScheduleOrderIndependence(t *testing.T) {
+	evs := []Event{
+		{At: 2 * time.Hour, Kind: MachineRecover, Cluster: ClusterUp, Count: 1},
+		{At: time.Hour, Kind: MachineCrash, Cluster: ClusterUp, Count: 1},
+		{At: time.Hour, Kind: DatanodeDown, Cluster: ClusterAll, Count: 2},
+		{At: 3 * time.Hour, Kind: DatanodeUp, Cluster: ClusterAll, Count: 2},
+	}
+	a, err := NewSchedule(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := []Event{evs[3], evs[2], evs[1], evs[0]}
+	b, err := NewSchedule(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("authoring order changed the fingerprint")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	var nilSched *Schedule
+	if nilSched.Fingerprint() != 0 {
+		t.Error("nil schedule must fingerprint to the clean sentinel 0")
+	}
+	if (&Schedule{}).Fingerprint() != 0 {
+		t.Error("empty schedule must fingerprint to 0")
+	}
+	base := Demo()
+	if base.Fingerprint() == 0 {
+		t.Fatal("non-empty schedule fingerprints to the clean sentinel")
+	}
+	if base.Fingerprint() != Demo().Fingerprint() {
+		t.Error("fingerprint not deterministic")
+	}
+	// Any field perturbation must change the fingerprint.
+	perturb := []func(*Event){
+		func(e *Event) { e.At += time.Second },
+		func(e *Event) { e.Count++ },
+		func(e *Event) { e.Kind = MachineRecover },
+		func(e *Event) { e.Cluster = ClusterOut },
+	}
+	for i, mut := range perturb {
+		s := Demo()
+		mut(&s.Events[0])
+		if s.Fingerprint() == base.Fingerprint() {
+			t.Errorf("perturbation %d left the fingerprint unchanged", i)
+		}
+	}
+}
+
+func TestForCluster(t *testing.T) {
+	s := Demo()
+	up := s.ForCluster(ClusterUp)
+	out := s.ForCluster(ClusterOut)
+	// The demo crashes one up machine and drops OFS servers cluster-wide.
+	if len(up) != 4 {
+		t.Errorf("up half sees %d events, want 4 (crash+recover+ofs pair)", len(up))
+	}
+	if len(out) != 2 {
+		t.Errorf("out half sees %d events, want the 2 shared OFS events", len(out))
+	}
+	if got := len(s.ForBaseline()); got != len(s.Events) {
+		t.Errorf("baseline sees %d of %d events", got, len(s.Events))
+	}
+	var nilSched *Schedule
+	if nilSched.ForCluster(ClusterUp) != nil || nilSched.ForBaseline() != nil {
+		t.Error("nil schedule must select no events")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	classes := []ClassMTBF{
+		{Cluster: ClusterUp, Kind: MachineCrash, Machines: 2, MTBF: 6 * time.Hour, MTTR: 30 * time.Minute},
+		{Cluster: ClusterOut, Kind: MachineCrash, Machines: 12, MTBF: 12 * time.Hour, MTTR: 30 * time.Minute},
+		{Cluster: ClusterAll, Kind: OFSServerDown, Machines: 32, MTBF: 48 * time.Hour, MTTR: time.Hour},
+	}
+	a, err := Generate(classes, 24*time.Hour, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(classes, 24*time.Hour, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("same seed produced different schedules")
+	}
+	c, err := Generate(classes, 24*time.Hour, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different seeds coincided (possible but vanishingly unlikely)")
+	}
+	if len(a.Events) == 0 {
+		t.Error("24h at these MTBFs should produce events")
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("generated schedule invalid: %v", err)
+	}
+	// The generator must never take a class to zero survivors: replay the
+	// down-counters against the populations.
+	down := map[string]int{}
+	pop := map[string]int{"up/crash": 2, "out/crash": 12, "all/ofs-down": 32}
+	for _, e := range a.Events {
+		key := e.Cluster + "/" + e.Kind.counterpart().String()
+		if e.Kind.IsRecovery() {
+			down[key] -= e.Count
+		} else {
+			down[key] += e.Count
+			if down[key] >= pop[key] {
+				t.Fatalf("generator left zero %s survivors at %v", key, e.At)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	good := []ClassMTBF{{Cluster: ClusterUp, Kind: MachineCrash, Machines: 2, MTBF: time.Hour, MTTR: time.Minute}}
+	if _, err := Generate(nil, time.Hour, 1); err == nil {
+		t.Error("no classes accepted")
+	}
+	if _, err := Generate(good, 0, 1); err == nil {
+		t.Error("zero window accepted")
+	}
+	bad := []ClassMTBF{
+		{Cluster: ClusterUp, Kind: MachineCrash, Machines: 0, MTBF: time.Hour, MTTR: time.Minute},
+		{Cluster: ClusterUp, Kind: MachineCrash, Machines: 2, MTBF: 0, MTTR: time.Minute},
+		{Cluster: ClusterUp, Kind: MachineCrash, Machines: 2, MTBF: time.Hour, MTTR: 0},
+		{Cluster: ClusterUp, Kind: MachineRecover, Machines: 2, MTBF: time.Hour, MTTR: time.Minute},
+	}
+	for i, c := range bad {
+		if _, err := Generate([]ClassMTBF{c}, time.Hour, 1); err == nil {
+			t.Errorf("bad class %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSchedule parses the -faults CLI syntax. Three forms:
+//
+//	demo                                     the built-in reference scenario
+//	cluster:kind@time[xN][;...]              explicit event list
+//	mtbf:up=6h,out=24h,mttr=45m,until=24h,seed=7   Poisson generator
+//
+// Explicit events name a cluster (up, out, all), a kind (crash, recover,
+// ofs-down, ofs-up, dn-down, dn-up), a Go duration and an optional count,
+// e.g. "up:crash@30m;up:recover@10h;all:ofs-down@2hx4". OFS events are
+// normalized to cluster "all" — the file system is shared.
+//
+// The mtbf form draws per-machine Poisson failures: up= and out= set the
+// per-machine MTBF of the scale-up (2 machines) and scale-out (12 machines)
+// halves, ofs= the 32 storage servers, dn= the baselines' datanodes; mttr=
+// sets the mean repair time (default 30m), until= the window (default 24h)
+// and seed= the generator seed (default 1).
+func ParseSchedule(spec string) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	switch {
+	case spec == "":
+		return nil, fmt.Errorf("faults: empty schedule spec")
+	case spec == "demo":
+		return Demo(), nil
+	case strings.HasPrefix(spec, "mtbf:"):
+		return parseMTBF(strings.TrimPrefix(spec, "mtbf:"))
+	}
+	var events []Event
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		ev, err := parseEvent(item)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("faults: schedule spec %q has no events", spec)
+	}
+	return NewSchedule(events)
+}
+
+// kindNames maps the spec spellings to kinds.
+var kindNames = map[string]Kind{
+	"crash":    MachineCrash,
+	"recover":  MachineRecover,
+	"ofs-down": OFSServerDown,
+	"ofs-up":   OFSServerUp,
+	"dn-down":  DatanodeDown,
+	"dn-up":    DatanodeUp,
+}
+
+func parseEvent(item string) (Event, error) {
+	cluster, rest, ok := strings.Cut(item, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("faults: event %q: want cluster:kind@time[xN]", item)
+	}
+	kindStr, at, ok := strings.Cut(rest, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("faults: event %q: missing @time", item)
+	}
+	kind, ok := kindNames[strings.TrimSpace(kindStr)]
+	if !ok {
+		return Event{}, fmt.Errorf("faults: event %q: unknown kind %q", item, kindStr)
+	}
+	count := 1
+	if timeStr, countStr, split := strings.Cut(at, "x"); split {
+		n, err := strconv.Atoi(strings.TrimSpace(countStr))
+		if err != nil {
+			return Event{}, fmt.Errorf("faults: event %q: count %q: %v", item, countStr, err)
+		}
+		count, at = n, timeStr
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(at))
+	if err != nil {
+		return Event{}, fmt.Errorf("faults: event %q: %v", item, err)
+	}
+	ev := Event{At: d, Kind: kind, Cluster: strings.TrimSpace(cluster), Count: count}
+	if kind == OFSServerDown || kind == OFSServerUp {
+		ev.Cluster = ClusterAll
+	}
+	return ev, ev.Validate()
+}
+
+// Default machine populations for the mtbf generator form: the paper's
+// 2 scale-up + 12 scale-out machines, 32 OFS servers, and the 24-machine
+// baseline pool for datanode losses.
+const (
+	mtbfUpMachines  = 2
+	mtbfOutMachines = 12
+	mtbfOFSServers  = 32
+	mtbfDatanodes   = 24
+)
+
+func parseMTBF(args string) (*Schedule, error) {
+	type class struct {
+		cluster  string
+		kind     Kind
+		machines int
+		mtbf     time.Duration
+	}
+	var (
+		classes []ClassMTBF
+		mttr    = 30 * time.Minute
+		window  = 24 * time.Hour
+		seed    = int64(1)
+		pending []class
+	)
+	for _, kv := range strings.Split(args, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: mtbf spec %q: want key=value", kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: mtbf seed %q: %v", val, err)
+			}
+			seed = n
+			continue
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return nil, fmt.Errorf("faults: mtbf %s=%q: %v", key, val, err)
+		}
+		switch key {
+		case "mttr":
+			mttr = d
+		case "until":
+			window = d
+		case "up":
+			pending = append(pending, class{ClusterUp, MachineCrash, mtbfUpMachines, d})
+		case "out":
+			pending = append(pending, class{ClusterOut, MachineCrash, mtbfOutMachines, d})
+		case "ofs":
+			pending = append(pending, class{ClusterAll, OFSServerDown, mtbfOFSServers, d})
+		case "dn":
+			pending = append(pending, class{ClusterAll, DatanodeDown, mtbfDatanodes, d})
+		default:
+			return nil, fmt.Errorf("faults: mtbf spec: unknown key %q", key)
+		}
+	}
+	for _, p := range pending {
+		classes = append(classes, ClassMTBF{
+			Cluster: p.cluster, Kind: p.kind, Machines: p.machines,
+			MTBF: p.mtbf, MTTR: mttr,
+		})
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("faults: mtbf spec names no machine class (up=, out=, ofs=, dn=)")
+	}
+	return Generate(classes, window, seed)
+}

@@ -1,0 +1,79 @@
+package faults
+
+import "testing"
+
+func TestParseScheduleDemo(t *testing.T) {
+	s, err := ParseSchedule("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fingerprint() != Demo().Fingerprint() {
+		t.Error("demo spec does not match Demo()")
+	}
+}
+
+func TestParseScheduleEvents(t *testing.T) {
+	s, err := ParseSchedule("up:crash@30m; up:recover@10h; all:ofs-down@2hx4; all:ofs-up@5hx4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fingerprint() != Demo().Fingerprint() {
+		t.Error("explicit event list does not reproduce the demo scenario")
+	}
+	// OFS events are normalized to the shared cluster.
+	s, err = ParseSchedule("up:ofs-down@1h;up:ofs-up@2h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.Events {
+		if e.Cluster != ClusterAll {
+			t.Errorf("OFS event %v not normalized to cluster all", e)
+		}
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	bad := []string{
+		"",
+		";",
+		"crash@30m",         // missing cluster
+		"up:crash",          // missing time
+		"up:reboot@30m",     // unknown kind
+		"up:crash@30mx0",    // zero count
+		"up:crash@30mxtwo",  // non-numeric count
+		"up:crash@soon",     // bad duration
+		"up:recover@1h",     // recovery before loss
+		"palmetto:crash@1h", // unknown cluster
+		"mtbf:up=sometimes", // bad duration in mtbf form
+		"mtbf:seed=7",       // mtbf with no class
+		"mtbf:warp=6h",      // unknown mtbf key
+		"mtbf:seed=x,up=6h", // bad seed
+		"mtbf:up",           // missing value
+	}
+	for _, spec := range bad {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseScheduleMTBF(t *testing.T) {
+	a, err := ParseSchedule("mtbf:up=6h,out=24h,mttr=45m,until=24h,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSchedule("mtbf:up=6h,out=24h,mttr=45m,until=24h,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("mtbf form not deterministic")
+	}
+	if a.Empty() {
+		t.Error("24h at 6h/24h MTBF produced no events")
+	}
+	// Defaults: ofs= alone with default window/mttr/seed parses.
+	if _, err := ParseSchedule("mtbf:ofs=12h"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hybridmr/internal/stats"
+)
+
+// ClassMTBF describes the failure process of one machine class: a population
+// of identical machines, each failing as a Poisson process with the given
+// per-machine mean time between failures and recovering after an
+// exponentially distributed repair time.
+type ClassMTBF struct {
+	// Cluster labels which cluster the class belongs to ("up", "out",
+	// "all").
+	Cluster string
+	// Kind is the loss kind generated (MachineCrash, DatanodeDown or
+	// OFSServerDown); the matching recovery kind is paired automatically.
+	Kind Kind
+	// Machines is the population size.
+	Machines int
+	// MTBF is each machine's mean time between failures.
+	MTBF time.Duration
+	// MTTR is the mean time to repair.
+	MTTR time.Duration
+}
+
+// Validate reports configuration errors.
+func (c ClassMTBF) Validate() error {
+	switch {
+	case c.Machines < 1:
+		return fmt.Errorf("faults: class %s/%s: %d machines", c.Cluster, c.Kind, c.Machines)
+	case c.MTBF <= 0:
+		return fmt.Errorf("faults: class %s/%s: non-positive MTBF", c.Cluster, c.Kind)
+	case c.MTTR <= 0:
+		return fmt.Errorf("faults: class %s/%s: non-positive MTTR", c.Cluster, c.Kind)
+	case c.Kind.IsRecovery():
+		return fmt.Errorf("faults: class %s/%s: kind must be a loss, not a recovery", c.Cluster, c.Kind)
+	}
+	return (Event{At: 0, Kind: c.Kind, Cluster: c.Cluster, Count: 1}).Validate()
+}
+
+// recoveryKind maps a loss kind to its recovery.
+func recoveryKind(k Kind) Kind {
+	switch k {
+	case MachineCrash:
+		return MachineRecover
+	case OFSServerDown:
+		return OFSServerUp
+	case DatanodeDown:
+		return DatanodeUp
+	default:
+		return k
+	}
+}
+
+// outage is one machine's down interval: a loss event paired with its
+// recovery.
+type outage struct{ down, up Event }
+
+// Generate synthesizes a fault schedule over the window: every machine of
+// every class runs an independent alternating up/down renewal process
+// (Exp(MTBF) up, Exp(MTTR) down), deterministically from the seed. Outages
+// that would leave a class with no machine standing are dropped whole:
+// total loss of a cluster half is not a schedulable scenario — the simulator
+// rejects it — so the generator never emits it.
+func Generate(classes []ClassMTBF, window time.Duration, seed int64) (*Schedule, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("faults: non-positive window %v", window)
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("faults: no machine classes")
+	}
+	rng := stats.NewRNG(seed)
+	var all []outage
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		for m := 0; m < c.Machines; m++ {
+			at := time.Duration(rng.Exp(c.MTBF.Seconds()) * float64(time.Second))
+			for at < window {
+				repair := time.Duration(rng.Exp(c.MTTR.Seconds()) * float64(time.Second))
+				if repair < time.Second {
+					repair = time.Second
+				}
+				end := at + repair
+				if end > window {
+					end = window
+				}
+				all = append(all, outage{
+					down: Event{At: at, Kind: c.Kind, Cluster: c.Cluster, Count: 1},
+					up:   Event{At: end, Kind: recoveryKind(c.Kind), Cluster: c.Cluster, Count: 1},
+				})
+				at = end + time.Duration(rng.Exp(c.MTBF.Seconds())*float64(time.Second))
+			}
+		}
+	}
+	// Order outages by loss instant (content tie-breaks) so the
+	// drop-to-keep-one-survivor decision below is deterministic.
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].down, all[j].down
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Cluster != b.Cluster {
+			return a.Cluster < b.Cluster
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return all[i].up.At < all[j].up.At
+	})
+
+	population := make(map[string]int)
+	for _, c := range classes {
+		population[c.Cluster+"/"+c.Kind.String()] += c.Machines
+	}
+	active := make(map[string][]time.Duration) // end times of live outages
+	var events []Event
+	for _, o := range all {
+		key := o.down.Cluster + "/" + o.down.Kind.String()
+		live := active[key][:0]
+		for _, end := range active[key] {
+			if end > o.down.At {
+				live = append(live, end)
+			}
+		}
+		if len(live)+1 >= population[key] {
+			active[key] = live
+			continue // would leave zero survivors; drop the outage
+		}
+		active[key] = append(live, o.up.At)
+		events = append(events, o.down, o.up)
+	}
+	return NewSchedule(events)
+}

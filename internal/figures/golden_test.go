@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"hybridmr/internal/core"
+	"hybridmr/internal/faults"
 	"hybridmr/internal/mapreduce"
 	"hybridmr/internal/sweep"
 )
@@ -17,8 +19,9 @@ import (
 // after an intentional model change and review the diff like any other.
 var update = flag.Bool("update", false, "rewrite golden files")
 
-// goldenArtifacts are the snapshotted renders: Table I plus the two
-// cross-point figures whose thresholds drive Algorithm 1. They pin the
+// goldenArtifacts are the snapshotted renders: Table I, the two cross-point
+// figures whose thresholds drive Algorithm 1, and the faulted trace-replay
+// resilience report. They pin the
 // exact rendered bytes, so any drift in the cost model, the sweep runner's
 // result ordering, or the text renderer fails here first.
 func goldenArtifacts(cal mapreduce.Calibration) []struct {
@@ -37,6 +40,16 @@ func goldenArtifacts(cal mapreduce.Calibration) []struct {
 		{"fig8", func() (string, error) {
 			f, err := Fig8(cal)
 			return f.Render(), err
+		}},
+		// The faulted trace replay: the demo fault schedule over a 600-job
+		// trace, pinning the whole resilience report — event list, per-arch
+		// stats and the failure-aware-vs-static verdict — byte for byte.
+		{"resilience", func() (string, error) {
+			r, err := RunResilience(cal, smallTraceConfig(600), faults.Demo(), core.Inject{})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
 		}},
 	}
 }

@@ -1,0 +1,268 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hybridmr/internal/core"
+	"hybridmr/internal/faults"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/stats"
+	"hybridmr/internal/sweep"
+	"hybridmr/internal/textplot"
+	"hybridmr/internal/workload"
+)
+
+// ArchResilience summarizes one architecture's behavior under a fault
+// schedule.
+type ArchResilience struct {
+	Name       string
+	OK, Failed int
+	// Makespan is the last job's completion instant.
+	Makespan time.Duration
+	// MeanS, P50S and P99S summarize successful jobs' execution seconds.
+	MeanS, P50S, P99S float64
+	// TaskRetries totals re-executed task attempts (crash kills and
+	// injected failures).
+	TaskRetries int
+	// JobRetries counts jobs that needed more than one submission
+	// (failure-aware hybrid only).
+	JobRetries int
+	// Reroutes counts jobs the failure-aware scheduler moved off their
+	// degraded preferred half (failure-aware hybrid only).
+	Reroutes int
+}
+
+// Resilience is the fault-replay experiment: the FB-2009 trace under one
+// fault schedule on five architectures — the hybrid with the failure-aware
+// scheduler, the hybrid with the paper's static Algorithm 1, the two
+// traditional baselines, and a clean (fault-free) hybrid run as the
+// degradation reference.
+type Resilience struct {
+	Jobs     int
+	Schedule *faults.Schedule
+	Inject   core.Inject
+
+	FailureAware, Static, THadoop, RHadoop, Clean ArchResilience
+}
+
+// jobOutcome normalizes hybrid and baseline results for summarizing.
+type jobOutcome struct {
+	exec        time.Duration
+	end         time.Duration
+	failed      bool
+	taskRetries int
+	attempts    int
+	rerouted    bool
+}
+
+// RunResilience generates the trace from cfg and replays it under the fault
+// schedule on all five architectures.
+func RunResilience(cal mapreduce.Calibration, cfg workload.Config, sched *faults.Schedule, inj core.Inject) (*Resilience, error) {
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunResilienceJobs(cal, jobs, sched, inj)
+}
+
+// RunResilienceJobs replays an already-built trace under the fault schedule
+// on all five architectures. The five replays are independent whole-cluster
+// simulations over the shared read-only job slice, so they run concurrently
+// on the process-wide sweep runner's pool; the report is byte-identical
+// regardless of worker count.
+func RunResilienceJobs(cal mapreduce.Calibration, jobs []workload.Job, sched *faults.Schedule, inj core.Inject) (*Resilience, error) {
+	hybrid, err := core.NewHybrid(cal)
+	if err != nil {
+		return nil, err
+	}
+
+	fromHybrid := func(rs []core.JobResult) []jobOutcome {
+		out := make([]jobOutcome, len(rs))
+		for i, r := range rs {
+			out[i] = jobOutcome{
+				exec: r.Exec, end: r.End, failed: r.Err != nil,
+				taskRetries: r.TaskRetries, attempts: r.Attempts, rerouted: r.Rerouted,
+			}
+		}
+		return out
+	}
+	fromBaseline := func(rs []mapreduce.Result) []jobOutcome {
+		out := make([]jobOutcome, len(rs))
+		for i, r := range rs {
+			out[i] = jobOutcome{
+				exec: r.Exec, end: r.End, failed: r.Err != nil,
+				taskRetries: r.TaskRetries,
+			}
+		}
+		return out
+	}
+	baseline := func(build func(mapreduce.Calibration) (*mapreduce.Platform, error)) func() ([]jobOutcome, error) {
+		return func() ([]jobOutcome, error) {
+			p, err := build(cal)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := core.RunBaselineFaulted(p, jobs, mapreduce.Fair, sched.ForBaseline(), inj)
+			if err != nil {
+				return nil, err
+			}
+			return fromBaseline(rs), nil
+		}
+	}
+	hybridRun := func(opt core.FaultRun) func() ([]jobOutcome, error) {
+		return func() ([]jobOutcome, error) {
+			rs, err := hybrid.RunFaulted(jobs, opt)
+			if err != nil {
+				return nil, err
+			}
+			return fromHybrid(rs), nil
+		}
+	}
+
+	replays := []struct {
+		name string
+		into *ArchResilience
+		run  func() ([]jobOutcome, error)
+	}{
+		{"Hybrid-FA", nil, hybridRun(core.FaultRun{Schedule: sched, Inject: inj, FailureAware: true})},
+		{"Hybrid-static", nil, hybridRun(core.FaultRun{Schedule: sched, Inject: inj})},
+		{"THadoop", nil, baseline(mapreduce.NewTHadoop)},
+		{"RHadoop", nil, baseline(mapreduce.NewRHadoop)},
+		{"Hybrid-clean", nil, hybridRun(core.FaultRun{})},
+	}
+	res := &Resilience{Jobs: len(jobs), Schedule: sched, Inject: inj}
+	for i, p := range []*ArchResilience{&res.FailureAware, &res.Static, &res.THadoop, &res.RHadoop, &res.Clean} {
+		replays[i].into = p
+	}
+
+	type outcome struct {
+		results []jobOutcome
+		err     error
+	}
+	outs := sweep.Map(sweep.Default().Workers(), len(replays), func(i int) outcome {
+		rs, err := replays[i].run()
+		return outcome{results: rs, err: err}
+	})
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("figures: %s: %w", replays[i].name, o.err)
+		}
+		*replays[i].into = summarize(replays[i].name, o.results)
+	}
+	return res, nil
+}
+
+func summarize(name string, rs []jobOutcome) ArchResilience {
+	a := ArchResilience{Name: name}
+	cdf := stats.NewCDF(nil)
+	for _, r := range rs {
+		a.TaskRetries += r.taskRetries
+		if r.attempts > 1 {
+			a.JobRetries++
+		}
+		if r.rerouted {
+			a.Reroutes++
+		}
+		if r.failed {
+			a.Failed++
+			continue
+		}
+		a.OK++
+		cdf.Add(r.exec.Seconds())
+		if r.end > a.Makespan {
+			a.Makespan = r.end
+		}
+	}
+	if a.OK > 0 {
+		a.MeanS, a.P50S, a.P99S = cdf.Mean(), cdf.Quantile(0.5), cdf.Quantile(0.99)
+	}
+	return a
+}
+
+// Render returns the resilience report as deterministic aligned text.
+func (r *Resilience) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Resilience — trace replay under fault injection (%d jobs)\n", r.Jobs)
+
+	if r.Schedule.Empty() {
+		b.WriteString("fault schedule: (none)\n")
+	} else {
+		fmt.Fprintf(&b, "fault schedule (fp %#016x):\n", r.Schedule.Fingerprint())
+		for _, e := range r.Schedule.Events {
+			fmt.Fprintf(&b, "  %-10s %s: %s x%d\n", e.At, e.Cluster, e.Kind, e.Count)
+		}
+	}
+	if in := r.Inject; in.FailureRate != 0 || in.StragglerFrac != 0 {
+		spec := "off"
+		if in.Speculate {
+			spec = "on"
+		}
+		fmt.Fprintf(&b, "injection: failure rate %g, straggler frac %g (speculation %s), seed %d\n",
+			in.FailureRate, in.StragglerFrac, spec, in.Seed)
+	}
+
+	tab := textplot.Table{
+		Header: []string{"arch", "ok", "failed", "makespan", "mean(s)", "p50(s)", "p99(s)", "task-retries", "job-retries", "reroutes"},
+	}
+	for _, a := range r.archs() {
+		tab.Rows = append(tab.Rows, []string{
+			a.Name,
+			fmt.Sprintf("%d", a.OK),
+			fmt.Sprintf("%d", a.Failed),
+			fmt.Sprintf("%.1fs", a.Makespan.Seconds()),
+			fmt.Sprintf("%.2f", a.MeanS),
+			fmt.Sprintf("%.2f", a.P50S),
+			fmt.Sprintf("%.2f", a.P99S),
+			fmt.Sprintf("%d", a.TaskRetries),
+			fmt.Sprintf("%d", a.JobRetries),
+			fmt.Sprintf("%d", a.Reroutes),
+		})
+	}
+	b.WriteByte('\n')
+	b.WriteString(tab.Render())
+
+	b.WriteString("\ndegradation vs clean hybrid (mean / p99):\n")
+	for _, a := range []ArchResilience{r.FailureAware, r.Static, r.THadoop, r.RHadoop} {
+		fmt.Fprintf(&b, "  %-13s %s / %s\n", a.Name,
+			pct(a.MeanS, r.Clean.MeanS),
+			pct(a.P99S, r.Clean.P99S))
+	}
+
+	fa, st := r.FailureAware, r.Static
+	word := "does NOT beat"
+	if fa.beats(st) {
+		word = "beats"
+	}
+	fmt.Fprintf(&b, "verdict: failure-aware %s static Algorithm 1 — %d vs %d jobs ok, mean %.2fs vs %.2fs, p99 %.2fs vs %.2fs\n",
+		word, fa.OK, st.OK, fa.MeanS, st.MeanS, fa.P99S, st.P99S)
+	return b.String()
+}
+
+// beats orders two architectures under the same faults lexicographically:
+// more jobs finished, then lower mean, then lower p99, then lower makespan —
+// strict at the first differing criterion.
+func (a ArchResilience) beats(o ArchResilience) bool {
+	switch {
+	case a.OK != o.OK:
+		return a.OK > o.OK
+	case a.MeanS != o.MeanS:
+		return a.MeanS < o.MeanS
+	case a.P99S != o.P99S:
+		return a.P99S < o.P99S
+	}
+	return a.Makespan < o.Makespan
+}
+
+func (r *Resilience) archs() []ArchResilience {
+	return []ArchResilience{r.FailureAware, r.Static, r.THadoop, r.RHadoop, r.Clean}
+}
+
+// pct formats v as a signed percentage change over base.
+func pct(v, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(v/base-1))
+}

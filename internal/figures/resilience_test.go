@@ -1,0 +1,35 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"hybridmr/internal/core"
+	"hybridmr/internal/faults"
+)
+
+func TestRunResilienceDemo(t *testing.T) {
+	r, err := RunResilience(cal(), smallTraceConfig(600), faults.Demo(), core.Inject{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range r.archs() {
+		if a.OK+a.Failed != r.Jobs {
+			t.Errorf("%s: %d ok + %d failed != %d jobs", a.Name, a.OK, a.Failed, r.Jobs)
+		}
+	}
+	if r.Clean.Failed != 0 || r.Clean.TaskRetries != 0 || r.Clean.Reroutes != 0 {
+		t.Errorf("clean run not clean: %+v", r.Clean)
+	}
+	if r.FailureAware.Reroutes == 0 {
+		t.Error("failure-aware run never rerouted under the demo schedule")
+	}
+	if r.Static.Reroutes != 0 || r.THadoop.Reroutes != 0 {
+		t.Error("reroutes recorded outside the failure-aware hybrid")
+	}
+	out := r.Render()
+	t.Logf("\n%s", out)
+	if !strings.Contains(out, "verdict: failure-aware beats static Algorithm 1") {
+		t.Error("demo schedule verdict is not a win for the failure-aware scheduler")
+	}
+}

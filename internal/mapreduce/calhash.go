@@ -40,5 +40,7 @@ func (c Calibration) Hash() uint64 {
 	h = fnvWord(h, uint64(c.BytesPerReducer))
 	h = fnvWord(h, math.Float64bits(c.SpillPasses))
 	h = fnvWord(h, uint64(c.ShuffleLatency))
+	h = fnvWord(h, uint64(c.MaxTaskAttempts))
+	h = fnvWord(h, math.Float64bits(c.SpeculationCap))
 	return h
 }

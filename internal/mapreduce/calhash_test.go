@@ -33,6 +33,8 @@ func TestCalibrationHashPerField(t *testing.T) {
 		{"BytesPerReducer", func(c *Calibration) { c.BytesPerReducer += units.MB }},
 		{"SpillPasses", func(c *Calibration) { c.SpillPasses += 0.5 }},
 		{"ShuffleLatency", func(c *Calibration) { c.ShuffleLatency += time.Millisecond }},
+		{"MaxTaskAttempts", func(c *Calibration) { c.MaxTaskAttempts++ }},
+		{"SpeculationCap", func(c *Calibration) { c.SpeculationCap += 0.1 }},
 	}
 	for _, p := range perturb {
 		c := base

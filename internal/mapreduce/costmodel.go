@@ -44,6 +44,14 @@ type Calibration struct {
 	SpillPasses float64
 	// ShuffleLatency is the fixed cost of the copy/merge tail.
 	ShuffleLatency time.Duration
+	// MaxTaskAttempts bounds how often one task is retried after
+	// injected failures before the whole job fails, mirroring Hadoop's
+	// mapred.map.max.attempts (default 4).
+	MaxTaskAttempts int
+	// SpeculationCap bounds how much longer than its nominal duration a
+	// straggling task may run before speculative execution cuts it off
+	// (Hadoop's backup tasks; 1.3 = at most 30% over nominal).
+	SpeculationCap float64
 }
 
 // DefaultCalibration returns the constants tuned to the paper's results.
@@ -60,6 +68,8 @@ func DefaultCalibration() Calibration {
 		BytesPerReducer:     units.GB,
 		SpillPasses:         1.0,
 		ShuffleLatency:      200 * time.Millisecond,
+		MaxTaskAttempts:     4,
+		SpeculationCap:      1.3,
 	}
 }
 
@@ -84,6 +94,10 @@ func (c Calibration) Validate() error {
 		return fmt.Errorf("mapreduce: spill passes %v", c.SpillPasses)
 	case c.ShuffleLatency < 0:
 		return fmt.Errorf("mapreduce: negative shuffle latency")
+	case c.MaxTaskAttempts < 1:
+		return fmt.Errorf("mapreduce: max task attempts %d below 1", c.MaxTaskAttempts)
+	case c.SpeculationCap < 1:
+		return fmt.Errorf("mapreduce: speculation cap %v below 1", c.SpeculationCap)
 	}
 	return nil
 }

@@ -1,0 +1,267 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+
+	"hybridmr/internal/faults"
+)
+
+// This file threads the fault-schedule layer (internal/faults) through the
+// event simulator: machine crashes shrink the slot pools mid-run and kill
+// the crashed machines' tasks, recoveries grow them back, and storage-server
+// losses swap the platform jobs are planned against for a degraded view.
+//
+// Crash semantics follow Hadoop 1.x tasktracker loss: the JobTracker
+// re-executes a lost node's in-flight tasks AND its completed map tasks,
+// because map output lives on the tasktracker's local disk and is gone with
+// the machine. Completed reduce output lives in the distributed file system
+// and survives. Two documented simplifications: jobs already past their map
+// phase (shuffle tail scheduled) keep their outputs — the copy phase has
+// fetched them; and a job's task durations are fixed by the degradation
+// level at its submission instant, so capacity loss mid-job shows up as
+// narrower waves, not re-planned task times.
+
+// attempt tracks one in-flight task attempt so a machine crash can kill it:
+// the slot dies with the machine and the completion callback must not fire.
+type attempt struct {
+	run    *jobRun
+	taskID int
+	isMap  bool
+	killed bool
+}
+
+// removeAttempt drops a finished attempt from the in-flight list.
+func (s *Simulator) removeAttempt(att *attempt) {
+	for i, a := range s.inflight {
+		if a == att {
+			s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// ScheduleFaults validates a fault timeline against this platform and
+// schedules its events on the engine. Storage events that do not match the
+// platform's file system (OFS events on an HDFS platform and vice versa) are
+// skipped — the hybrid's halves share one schedule but mount different file
+// systems. The events must be time-ordered (faults.Schedule guarantees it);
+// a timeline that would ever leave the cluster with no machine, exceed what
+// the file system can survive, or recover capacity that never failed is
+// rejected up front. Call before Submit, so fault events at an instant
+// precede job arrivals at the same instant.
+func (s *Simulator) ScheduleFaults(events []faults.Event) error {
+	fsName := s.platform.FS.Name()
+	relevant := make([]faults.Event, 0, len(events))
+	for _, ev := range events {
+		if err := ev.Validate(); err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case faults.OFSServerDown, faults.OFSServerUp:
+			if fsName != "OFS" {
+				continue
+			}
+		case faults.DatanodeDown, faults.DatanodeUp:
+			if fsName != "HDFS" {
+				continue
+			}
+		}
+		relevant = append(relevant, ev)
+	}
+	// Dry-run the whole walk before touching the engine, so a bad timeline
+	// is an error at schedule time, never a panic mid-simulation.
+	downM, downS := 0, 0
+	var last time.Duration
+	for _, ev := range relevant {
+		if ev.At < last {
+			return fmt.Errorf("mapreduce: %s: fault events out of order at %v", s.platform.Name, ev.At)
+		}
+		last = ev.At
+		switch ev.Kind {
+		case faults.MachineCrash:
+			downM += ev.Count
+			if downM >= s.platform.Spec.Machines {
+				return fmt.Errorf("mapreduce: %s: fault schedule leaves no machines at %v (%d of %d down)",
+					s.platform.Name, ev.At, downM, s.platform.Spec.Machines)
+			}
+		case faults.MachineRecover:
+			downM -= ev.Count
+			if downM < 0 {
+				return fmt.Errorf("mapreduce: %s: machine recovery at %v without a matching crash", s.platform.Name, ev.At)
+			}
+		default:
+			if ev.Kind.IsRecovery() {
+				downS -= ev.Count
+				if downS < 0 {
+					return fmt.Errorf("mapreduce: %s: storage recovery at %v without a matching loss", s.platform.Name, ev.At)
+				}
+			} else {
+				downS += ev.Count
+			}
+			if _, err := s.degradedPlatform(0, downS); err != nil {
+				return fmt.Errorf("mapreduce: %s: fault schedule at %v: %w", s.platform.Name, ev.At, err)
+			}
+		}
+	}
+	for _, ev := range relevant {
+		ev := ev
+		s.eng.At(ev.At, func(now time.Duration) { s.applyFault(ev, now) })
+	}
+	return nil
+}
+
+// applyFault transitions the cluster's health state at an event instant.
+func (s *Simulator) applyFault(ev faults.Event, now time.Duration) {
+	switch ev.Kind {
+	case faults.MachineCrash:
+		s.crashMachines(ev.Count, now)
+	case faults.MachineRecover:
+		s.recoverMachines(ev.Count, now)
+	default:
+		// Storage loss changes how future jobs are planned; I/O already
+		// in flight keeps its planned duration (see file comment).
+		if ev.Kind.IsRecovery() {
+			s.storageDown -= ev.Count
+		} else {
+			s.storageDown += ev.Count
+		}
+	}
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// crashMachines takes k machines offline: their slots leave the pools, the
+// attempts running on them die (re-queued per task), and — Hadoop 1.x
+// tasktracker-loss semantics — the completed map outputs they held are lost
+// and re-executed. Which attempts sat on the crashed machines is not modeled
+// per-node; the busy share is prorated (ceiling) and the newest attempts die
+// first, which is deterministic and biases against speculative progress.
+func (s *Simulator) crashMachines(k int, now time.Duration) {
+	s.accrue(now)
+	spec := s.platform.Spec
+	avail := spec.Machines - s.machinesDown
+	mps, rps := spec.MapSlotsPerMachine(), spec.ReduceSlotsPerMachine()
+
+	killedMaps := s.killAttempts(true, ceilDiv((s.capMap-s.freeMap)*k, avail))
+	killedReds := s.killAttempts(false, ceilDiv((s.capRed-s.freeRed)*k, avail))
+	// The crashed machines' free slots vanish too. killed ≤ ceil(busy·k/avail)
+	// guarantees the remainder never exceeds the free pool.
+	s.capMap -= k * mps
+	s.capRed -= k * rps
+	s.freeMap -= k*mps - killedMaps
+	s.freeRed -= k*rps - killedReds
+	s.loseCompletedMaps(k, avail)
+	s.machinesDown += k
+	s.dispatch(now)
+}
+
+// killAttempts kills up to n in-flight attempts of one kind, newest first,
+// re-queuing each task on its job, and returns how many died.
+func (s *Simulator) killAttempts(isMap bool, n int) int {
+	killed := 0
+	for i := len(s.inflight) - 1; i >= 0 && killed < n; i-- {
+		att := s.inflight[i]
+		if att.isMap != isMap {
+			continue
+		}
+		att.killed = true
+		s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
+		run := att.run
+		if isMap {
+			run.runningMaps--
+			if !run.failed {
+				// A crash kill is Hadoop's KILLED, not FAILED: it
+				// does not count against the task's max attempts.
+				run.pendingMapIDs = append(run.pendingMapIDs, att.taskID)
+				run.retries++
+			}
+		} else {
+			run.runningReds--
+			if !run.failed {
+				run.pendingRedIDs = append(run.pendingRedIDs, att.taskID)
+				run.retries++
+			}
+		}
+		killed++
+	}
+	return killed
+}
+
+// loseCompletedMaps re-queues the prorated share of each map-phase job's
+// completed maps: their outputs lived on the crashed machines' local disks.
+func (s *Simulator) loseCompletedMaps(k, avail int) {
+	for _, run := range s.active {
+		if run.failed || run.mapsDone == 0 || run.mapsDone == run.pl.mapTasks {
+			continue // nothing done yet, or already past the map phase
+		}
+		lost := ceilDiv(run.mapsDone*k, avail)
+		if lost > len(run.doneMapIDs) {
+			lost = len(run.doneMapIDs)
+		}
+		for i := 0; i < lost; i++ {
+			id := run.doneMapIDs[len(run.doneMapIDs)-1]
+			run.doneMapIDs = run.doneMapIDs[:len(run.doneMapIDs)-1]
+			run.pendingMapIDs = append(run.pendingMapIDs, id)
+		}
+		run.mapsDone -= lost
+		run.retries += lost
+	}
+}
+
+// recoverMachines brings k machines back; their slots rejoin the pools empty.
+func (s *Simulator) recoverMachines(k int, now time.Duration) {
+	s.accrue(now)
+	spec := s.platform.Spec
+	s.machinesDown -= k
+	s.capMap += k * spec.MapSlotsPerMachine()
+	s.capRed += k * spec.ReduceSlotsPerMachine()
+	s.freeMap += k * spec.MapSlotsPerMachine()
+	s.freeRed += k * spec.ReduceSlotsPerMachine()
+	s.dispatch(now)
+}
+
+// degradedPlatform returns the platform view with the given losses applied,
+// memoized per (machines, storage) level — fault timelines revisit the same
+// few levels, and planning against a view must not rebuild it every job.
+func (s *Simulator) degradedPlatform(machinesDown, storageDown int) (*Platform, error) {
+	if machinesDown == 0 && storageDown == 0 {
+		return s.platform, nil
+	}
+	key := [2]int{machinesDown, storageDown}
+	if p, ok := s.degraded[key]; ok {
+		return p, nil
+	}
+	p, err := s.platform.Degraded(machinesDown, storageDown)
+	if err != nil {
+		return nil, err
+	}
+	if s.degraded == nil {
+		s.degraded = make(map[[2]int]*Platform)
+	}
+	s.degraded[key] = p
+	return p, nil
+}
+
+// PlatformNow returns the platform as currently degraded: the healthy
+// platform when everything is up, otherwise a view with the lost machines
+// and storage servers removed. The failure-aware scheduler estimates ETAs
+// against it.
+func (s *Simulator) PlatformNow() (*Platform, error) {
+	return s.degradedPlatform(s.machinesDown, s.storageDown)
+}
+
+// MachinesDown reports how many of the cluster's machines are currently
+// crashed.
+func (s *Simulator) MachinesDown() int { return s.machinesDown }
+
+// StorageDown reports how many storage servers (OFS) or datanodes (HDFS) are
+// currently lost.
+func (s *Simulator) StorageDown() int { return s.storageDown }
+
+// SetResultHook diverts every finished job's result to fn (with the
+// completion instant) instead of the internal results list; the hybrid's
+// failure-aware scheduler uses it to retry failed jobs in simulated time.
+// Call before Run. With a hook set, Results returns nothing.
+func (s *Simulator) SetResultHook(fn func(Result, time.Duration)) { s.onResult = fn }

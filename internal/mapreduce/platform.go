@@ -42,6 +42,40 @@ func NewPlatform(name string, spec cluster.Spec, fs storage.System, cal Calibrat
 	return &Platform{Name: name, Spec: spec, FS: fs, Cal: cal}, nil
 }
 
+// Degraded returns the platform with machinesDown compute machines and
+// storageDown storage servers (OFS) or datanodes (HDFS) removed. Both counts
+// are cumulative from the receiver, which must be the healthy platform — the
+// fault layer always derives degraded views from the healthy base, never from
+// another degraded view. The degraded platform carries a distinct name, so
+// cache keys and reports embedding it never alias the healthy platform.
+// Losing every machine, or storage the file system cannot survive, is an
+// error.
+func (p *Platform) Degraded(machinesDown, storageDown int) (*Platform, error) {
+	if machinesDown == 0 && storageDown == 0 {
+		return p, nil
+	}
+	if machinesDown < 0 || storageDown < 0 {
+		return nil, fmt.Errorf("mapreduce: platform %s: negative degradation (%d machines, %d servers)", p.Name, machinesDown, storageDown)
+	}
+	spec, err := p.Spec.WithMachines(p.Spec.Machines - machinesDown)
+	if err != nil {
+		return nil, err
+	}
+	fs := p.FS
+	if storageDown > 0 {
+		deg, ok := p.FS.(storage.Degradable)
+		if !ok {
+			return nil, fmt.Errorf("mapreduce: platform %s: file system %s does not model server loss", p.Name, p.FS.Name())
+		}
+		fs, err = deg.Degrade(storageDown)
+		if err != nil {
+			return nil, err
+		}
+	}
+	name := fmt.Sprintf("%s[-%dm,-%ds]", p.Name, machinesDown, storageDown)
+	return NewPlatform(name, spec, fs, p.Cal)
+}
+
 // RunIsolated runs one job alone on the platform, as in the paper's
 // measurement study (§III), and returns its phase durations in closed form.
 // The result is identical to running the job through an empty Simulator.

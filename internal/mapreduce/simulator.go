@@ -56,9 +56,8 @@ type Simulator struct {
 	seq              int
 
 	// Failure injection (Hadoop re-executes failed tasks, up to
-	// mapred.map.max.attempts = 4 in 1.x).
+	// Cal.MaxTaskAttempts, mirroring mapred.map.max.attempts).
 	failureRate float64
-	maxAttempts int
 	failRNG     *stats.RNG
 
 	// Straggler injection: per-attempt duration jitter, plus optional
@@ -72,6 +71,18 @@ type Simulator struct {
 	lastChange time.Duration
 	mapSlotSec float64
 	redSlotSec float64
+
+	// Fault injection (faultsim.go): current machine/storage losses, the
+	// memoized degraded platform views jobs are planned against, and the
+	// in-flight attempts a crash can kill.
+	machinesDown int
+	storageDown  int
+	degraded     map[[2]int]*Platform
+	inflight     []*attempt
+
+	// onResult, when set, receives finished results instead of the
+	// internal list (SetResultHook).
+	onResult func(Result, time.Duration)
 }
 
 // NewSimulator creates an empty FIFO simulator for the platform with its
@@ -99,14 +110,14 @@ func (s *Simulator) SetPolicy(p Policy) { s.policy = p }
 
 // InjectFailures makes each task attempt fail with probability rate; a
 // failed attempt occupies its slot for the full task duration and is then
-// re-executed, up to Hadoop 1.x's four attempts — after which the whole job
-// fails. Deterministic per seed. Call before Run.
+// re-executed, up to the calibration's MaxTaskAttempts (Hadoop 1.x defaults
+// to four) — after which the whole job fails. Deterministic per seed. Call
+// before Run.
 func (s *Simulator) InjectFailures(rate float64, seed int64) error {
 	if rate < 0 || rate >= 1 {
 		return fmt.Errorf("mapreduce: failure rate %v outside [0,1)", rate)
 	}
 	s.failureRate = rate
-	s.maxAttempts = 4
 	s.failRNG = stats.NewRNG(seed)
 	return nil
 }
@@ -141,12 +152,11 @@ func (s *Simulator) jitterDuration(d time.Duration) time.Duration {
 	f := s.jitterRNG.LogUniform(lo, hi)
 	if s.speculative {
 		// A backup attempt caps how slow the task can effectively
-		// be: once the original exceeds ~1.3× the typical duration,
-		// the speculative copy (jitter-free, started late) finishes
-		// at about that bound.
-		const speculationCap = 1.3
-		if f > speculationCap {
-			f = speculationCap
+		// be: once the original exceeds SpeculationCap× the typical
+		// duration, the speculative copy (jitter-free, started late)
+		// finishes at about that bound.
+		if cap := s.platform.Cal.SpeculationCap; f > cap {
+			f = cap
 		}
 	}
 	return time.Duration(float64(d) * f)
@@ -251,6 +261,7 @@ type jobRun struct {
 	start  time.Duration
 
 	pendingMapIDs, pendingRedIDs []int // logical task indices awaiting a slot
+	doneMapIDs                   []int // completed maps, re-queued on machine loss
 	runningMaps, runningReds     int
 	mapsDone, redsDone           int
 	shuffling                    bool
@@ -265,9 +276,16 @@ type jobRun struct {
 }
 
 func (s *Simulator) startJob(job Job, now time.Duration) {
-	pl, err := s.platform.planJob(job)
+	// Plan against the platform as degraded right now: a job arriving with
+	// machines or storage down gets slower tasks, narrower waves and the
+	// degraded capacity check.
+	p, err := s.PlatformNow()
+	var pl plan
+	if err == nil {
+		pl, err = p.planJob(job)
+	}
 	if err != nil {
-		s.finish(Result{Job: job, Platform: s.platform.Name, Submit: job.Submit, Err: err})
+		s.finish(Result{Job: job, Platform: s.platform.Name, Submit: job.Submit, Err: err}, now)
 		return
 	}
 	s.seq++
@@ -365,7 +383,13 @@ func (s *Simulator) startMapTask(run *jobRun, now time.Duration) {
 		run.startedMap = true
 		run.firstMapAt = now
 	}
+	att := &attempt{run: run, taskID: taskID, isMap: true}
+	s.inflight = append(s.inflight, att)
 	s.eng.After(s.jitterDuration(run.pl.mapTask), func(now time.Duration) {
+		if att.killed {
+			return // the machine died under the task; the crash re-queued it
+		}
+		s.removeAttempt(att)
 		s.accrue(now)
 		s.freeMap++
 		run.runningMaps--
@@ -386,6 +410,7 @@ func (s *Simulator) startMapTask(run *jobRun, now time.Duration) {
 			return
 		}
 		run.mapsDone++
+		run.doneMapIDs = append(run.doneMapIDs, taskID)
 		if run.mapsDone == run.pl.mapTasks {
 			run.lastMapDone = now
 			run.shuffling = true
@@ -407,7 +432,13 @@ func (s *Simulator) startReduceTask(run *jobRun, now time.Duration) {
 	taskID := run.pendingRedIDs[len(run.pendingRedIDs)-1]
 	run.pendingRedIDs = run.pendingRedIDs[:len(run.pendingRedIDs)-1]
 	run.runningReds++
+	att := &attempt{run: run, taskID: taskID, isMap: false}
+	s.inflight = append(s.inflight, att)
 	s.eng.After(s.jitterDuration(run.pl.redTask), func(now time.Duration) {
+		if att.killed {
+			return // the machine died under the task; the crash re-queued it
+		}
+		s.removeAttempt(att)
 		s.accrue(now)
 		s.freeRed++
 		run.runningReds--
@@ -450,7 +481,7 @@ func (s *Simulator) recordFailure(run *jobRun, taskID int) bool {
 		run.attempts = make(map[int]int)
 	}
 	run.attempts[taskID]++
-	return run.attempts[taskID] < s.maxAttempts
+	return run.attempts[taskID] < s.platform.Cal.MaxTaskAttempts
 }
 
 // failJob marks the job failed; its remaining tasks are dropped and the
@@ -475,8 +506,8 @@ func (s *Simulator) failJob(run *jobRun, now time.Duration, phase string) {
 		Start:    run.start,
 		End:      now,
 		Exec:     now - run.submit,
-		Err:      fmt.Errorf("mapreduce: job %s: %s task exceeded %d attempts", run.job.ID, phase, s.maxAttempts),
-	})
+		Err:      fmt.Errorf("mapreduce: job %s: %s task exceeded %d attempts", run.job.ID, phase, s.platform.Cal.MaxTaskAttempts),
+	}, now)
 }
 
 func (s *Simulator) completeJob(run *jobRun, end time.Duration) {
@@ -502,10 +533,14 @@ func (s *Simulator) completeJob(run *jobRun, end time.Duration) {
 		Spilled:         run.pl.spilled,
 		ShuffleDegraded: run.pl.degraded,
 		TaskRetries:     run.retries,
-	})
+	}, end)
 }
 
-func (s *Simulator) finish(r Result) {
-	s.results = append(s.results, r)
+func (s *Simulator) finish(r Result, now time.Duration) {
 	s.running--
+	if s.onResult != nil {
+		s.onResult(r, now)
+		return
+	}
+	s.results = append(s.results, r)
 }

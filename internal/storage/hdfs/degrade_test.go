@@ -1,0 +1,87 @@
+package hdfs
+
+import (
+	"testing"
+)
+
+func TestDegrade(t *testing.T) {
+	s, err := New(outConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := s.Degrade(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sys.(*System)
+	if d.Name() != "HDFS(-3dn)" {
+		t.Errorf("degraded name = %q", d.Name())
+	}
+	if d.Config().Datanodes != 9 {
+		t.Errorf("degraded datanodes = %d, want 9", d.Config().Datanodes)
+	}
+	if d.UsableCapacity() >= s.UsableCapacity() {
+		t.Error("capacity did not shrink with the lost datanodes")
+	}
+	if d.Config().NonLocalFraction <= s.Config().NonLocalFraction {
+		t.Error("non-local fraction did not rise for under-replicated blocks")
+	}
+	if d.Config().DiskBW >= s.Config().DiskBW {
+		t.Error("surviving disk bandwidth not taxed by re-replication")
+	}
+	c := ctx(24, 2, 9)
+	if d.PerTaskReadBW(c) >= s.PerTaskReadBW(c) {
+		t.Error("degraded reads not slower than healthy reads")
+	}
+	if d.PerTaskWriteBW(c) >= s.PerTaskWriteBW(c) {
+		t.Error("degraded writes not slower than healthy writes")
+	}
+}
+
+// Degrade is cumulative from the healthy configuration, not compounding:
+// degrading an already-degraded system re-derives from the original.
+func TestDegradeCumulative(t *testing.T) {
+	s, _ := New(outConfig())
+	d3, err := s.Degrade(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := d3.(*System).Degrade(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.(*System).Config().Datanodes; got != 9 {
+		t.Errorf("re-degrading compounded: %d datanodes, want 9", got)
+	}
+	healed, err := d3.(*System).Degrade(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Name() != "HDFS" || healed.(*System).Config() != s.Config() {
+		t.Error("Degrade(0) did not restore the healthy configuration")
+	}
+}
+
+func TestDegradeErrors(t *testing.T) {
+	s, _ := New(upConfig()) // 2 datanodes
+	for _, lost := range []int{-1, 2, 3} {
+		if _, err := s.Degrade(lost); err == nil {
+			t.Errorf("Degrade(%d) of a 2-node cluster accepted", lost)
+		}
+	}
+	if _, err := s.Degrade(1); err != nil {
+		t.Errorf("Degrade(1) of a 2-node cluster rejected: %v", err)
+	}
+}
+
+func TestRebuildTaxValidation(t *testing.T) {
+	cfg := upConfig()
+	cfg.RebuildTax = 1
+	if _, err := New(cfg); err == nil {
+		t.Error("rebuild tax 1 accepted")
+	}
+	cfg.RebuildTax = -0.1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative rebuild tax accepted")
+	}
+}

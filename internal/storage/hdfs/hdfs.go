@@ -50,6 +50,12 @@ type Config struct {
 	PageCachePerNode units.Bytes
 	// PageCacheBW is the per-node cached-read bandwidth.
 	PageCacheBW units.BytesPerSec
+	// RebuildTax is the fraction of surviving disk bandwidth consumed by
+	// re-replication traffic per lost datanode (scaled by the lost
+	// fraction): after a loss the namenode re-replicates every
+	// under-replicated block, and that copy traffic competes with job I/O
+	// on the surviving disks and NICs.
+	RebuildTax float64
 }
 
 // DefaultConfig returns the HDFS model configured as in the paper for a
@@ -70,12 +76,19 @@ func DefaultConfig(n int, diskCapacity units.Bytes, diskBW, nic units.BytesPerSe
 		JobOverheadTime:     1 * time.Second,
 		PageCachePerNode:    0,
 		PageCacheBW:         units.GBps(2),
+		RebuildTax:          0.30,
 	}
 }
 
-// System is the HDFS model; it implements storage.System.
+// System is the HDFS model; it implements storage.System and
+// storage.Degradable.
 type System struct {
 	cfg Config
+	// healthy is the configuration before any datanode loss; Degrade always
+	// derives from it, so the lost count is cumulative, not compounding.
+	healthy Config
+	// lost is the number of datanodes currently down.
+	lost int
 }
 
 // New validates the configuration and builds the model.
@@ -101,15 +114,55 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("hdfs: page cache without bandwidth")
 	case cfg.PageCachePerNode < 0:
 		return nil, fmt.Errorf("hdfs: negative page cache size")
+	case cfg.RebuildTax < 0 || cfg.RebuildTax >= 1:
+		return nil, fmt.Errorf("hdfs: rebuild tax %v outside [0,1)", cfg.RebuildTax)
 	}
-	return &System{cfg: cfg}, nil
+	return &System{cfg: cfg, healthy: cfg}, nil
 }
 
 // Config returns the model's configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Name implements storage.System.
-func (s *System) Name() string { return "HDFS" }
+// Name implements storage.System. Degraded instances carry the loss in the
+// name, so every cache key and report that embeds the file-system name
+// distinguishes degraded from healthy I/O.
+func (s *System) Name() string {
+	if s.lost > 0 {
+		return fmt.Sprintf("HDFS(-%ddn)", s.lost)
+	}
+	return "HDFS"
+}
+
+// Degrade implements storage.Degradable: it returns the model with `lost`
+// datanodes down (cumulative from the healthy configuration). Capacity
+// shrinks with the survivors; the lost fraction of blocks loses its local
+// replica, so that share of reads goes remote; and re-replication traffic
+// taxes the surviving disks by RebuildTax scaled by the lost fraction.
+// Losing every datanode is an error — there is no cluster left to degrade.
+func (s *System) Degrade(lost int) (storage.System, error) {
+	base := s.healthy
+	switch {
+	case lost < 0:
+		return nil, fmt.Errorf("hdfs: negative datanode loss %d", lost)
+	case lost >= base.Datanodes:
+		return nil, fmt.Errorf("hdfs: losing %d of %d datanodes leaves no survivors", lost, base.Datanodes)
+	}
+	frac := float64(lost) / float64(base.Datanodes)
+	cfg := base
+	cfg.Datanodes -= lost
+	cfg.NonLocalFraction += frac
+	if cfg.NonLocalFraction > 1 {
+		cfg.NonLocalFraction = 1
+	}
+	cfg.DiskBW = units.BytesPerSec(float64(cfg.DiskBW) * (1 - cfg.RebuildTax*frac))
+	d, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.healthy = base
+	d.lost = lost
+	return d, nil
+}
 
 // UsableCapacity returns the input+output data volume the cluster can hold:
 // raw disk, minus the reserve, divided by the replication factor.
@@ -190,4 +243,4 @@ func (s *System) TaskWriteLatency() time.Duration { return s.cfg.WriteLatencyPer
 // JobOverhead implements storage.System.
 func (s *System) JobOverhead() time.Duration { return s.cfg.JobOverheadTime }
 
-var _ storage.System = (*System)(nil)
+var _ storage.Degradable = (*System)(nil)

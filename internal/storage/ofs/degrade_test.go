@@ -1,0 +1,87 @@
+package ofs
+
+import (
+	"testing"
+)
+
+func TestDegrade(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := s.Degrade(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sys.(*System)
+	if d.Name() != "OFS(-4srv)" {
+		t.Errorf("degraded name = %q", d.Name())
+	}
+	if d.Config().Servers != 28 {
+		t.Errorf("degraded servers = %d, want 28", d.Config().Servers)
+	}
+	if d.AggregateBW() >= s.AggregateBW() {
+		t.Error("aggregate bandwidth did not shrink")
+	}
+	if d.UsableCapacity() >= s.UsableCapacity() {
+		t.Error("capacity did not shrink")
+	}
+	c := ctx(96, 8, 12)
+	if d.PerTaskReadBW(c) > s.PerTaskReadBW(c) {
+		t.Error("degraded reads faster than healthy reads")
+	}
+}
+
+// Deep losses shrink the stripe width: a file cannot stripe over servers that
+// no longer exist.
+func TestDegradeStripeWidth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Servers = 10
+	s, _ := New(cfg)
+	sys, err := s.Degrade(5) // 5 survivors < stripe width 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.(*System).Config().StripeWidth; got != 5 {
+		t.Errorf("stripe width = %d, want 5 (the surviving servers)", got)
+	}
+}
+
+func TestDegradeCumulative(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	d4, err := s.Degrade(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := d4.(*System).Degrade(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.(*System).Config().Servers; got != 28 {
+		t.Errorf("re-degrading compounded: %d servers, want 28", got)
+	}
+	healed, err := d4.(*System).Degrade(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Name() != "OFS" || healed.(*System).Config() != s.Config() {
+		t.Error("Degrade(0) did not restore the healthy configuration")
+	}
+}
+
+func TestDegradeErrors(t *testing.T) {
+	s, _ := New(DefaultConfig()) // 32 servers
+	for _, lost := range []int{-1, 32, 40} {
+		if _, err := s.Degrade(lost); err == nil {
+			t.Errorf("Degrade(%d) of 32 servers accepted", lost)
+		}
+	}
+	if _, err := s.Degrade(31); err != nil {
+		t.Errorf("Degrade(31) rejected: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.RebuildTax = 1.2
+	if _, err := New(cfg); err == nil {
+		t.Error("rebuild tax above 1 accepted")
+	}
+}

@@ -39,6 +39,11 @@ type Config struct {
 	WriteLatency time.Duration
 	// JobOverheadTime is the per-job remote staging/metadata cost.
 	JobOverheadTime time.Duration
+	// RebuildTax is the fraction of surviving server bandwidth consumed by
+	// recovery traffic per lost server (scaled by the lost fraction):
+	// restriping files off the failed servers' RAID sets competes with job
+	// I/O on the survivors.
+	RebuildTax float64
 }
 
 // DefaultConfig returns the Palmetto OFS deployment as configured in the
@@ -54,12 +59,19 @@ func DefaultConfig() Config {
 		RequestLatency:  2185 * time.Millisecond,
 		WriteLatency:    1086 * time.Millisecond,
 		JobOverheadTime: 2 * time.Second,
+		RebuildTax:      0.25,
 	}
 }
 
-// System is the OFS model; it implements storage.System.
+// System is the OFS model; it implements storage.System and
+// storage.Degradable.
 type System struct {
 	cfg Config
+	// healthy is the configuration before any server loss; Degrade always
+	// derives from it, so the lost count is cumulative, not compounding.
+	healthy Config
+	// lost is the number of storage servers currently down.
+	lost int
 }
 
 // New validates the configuration and builds the model.
@@ -77,15 +89,54 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("ofs: stripe width %d outside [1, %d]", cfg.StripeWidth, cfg.Servers)
 	case cfg.StreamBW <= 0:
 		return nil, fmt.Errorf("ofs: non-positive stream bandwidth")
+	case cfg.RebuildTax < 0 || cfg.RebuildTax >= 1:
+		return nil, fmt.Errorf("ofs: rebuild tax %v outside [0,1)", cfg.RebuildTax)
 	}
-	return &System{cfg: cfg}, nil
+	return &System{cfg: cfg, healthy: cfg}, nil
 }
 
 // Config returns the model's configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Name implements storage.System.
-func (s *System) Name() string { return "OFS" }
+// Name implements storage.System. Degraded instances carry the loss in the
+// name, so every cache key and report that embeds the file-system name
+// distinguishes degraded from healthy I/O.
+func (s *System) Name() string {
+	if s.lost > 0 {
+		return fmt.Sprintf("OFS(-%dsrv)", s.lost)
+	}
+	return "OFS"
+}
+
+// Degrade implements storage.Degradable: it returns the model with `lost`
+// storage servers down (cumulative from the healthy configuration). Aggregate
+// bandwidth and capacity shrink with the survivors, files can stripe only
+// over the servers that remain, and restriping traffic taxes the survivors'
+// bandwidth by RebuildTax scaled by the lost fraction. Losing every server is
+// an error — the file system is gone, not degraded.
+func (s *System) Degrade(lost int) (storage.System, error) {
+	base := s.healthy
+	switch {
+	case lost < 0:
+		return nil, fmt.Errorf("ofs: negative server loss %d", lost)
+	case lost >= base.Servers:
+		return nil, fmt.Errorf("ofs: losing %d of %d servers leaves no survivors", lost, base.Servers)
+	}
+	frac := float64(lost) / float64(base.Servers)
+	cfg := base
+	cfg.Servers -= lost
+	if cfg.StripeWidth > cfg.Servers {
+		cfg.StripeWidth = cfg.Servers
+	}
+	cfg.ServerBW = units.BytesPerSec(float64(cfg.ServerBW) * (1 - cfg.RebuildTax*frac))
+	d, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.healthy = base
+	d.lost = lost
+	return d, nil
+}
 
 // AggregateBW returns the file system's total server bandwidth.
 func (s *System) AggregateBW() units.BytesPerSec {
@@ -168,4 +219,4 @@ func (s *System) ServersForFile(size units.Bytes) int {
 	return n
 }
 
-var _ storage.System = (*System)(nil)
+var _ storage.Degradable = (*System)(nil)

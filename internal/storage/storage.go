@@ -125,6 +125,16 @@ type System interface {
 	CheckJobFit(input, output units.Bytes) error
 }
 
+// Degradable is implemented by file systems that model server loss: Degrade
+// returns a new System with lost servers removed — capacity shrunk, surviving
+// bandwidth taxed by rebuild/re-replication traffic — or an error when the
+// loss is not survivable (no servers left). The lost count is cumulative from
+// the healthy configuration, so Degrade(0) restores full health.
+type Degradable interface {
+	System
+	Degrade(lost int) (System, error)
+}
+
 // MinBW returns the smallest positive bandwidth among its arguments;
 // non-positive values are ignored. It returns 0 only if every argument is
 // non-positive.

@@ -26,6 +26,12 @@ type Key struct {
 	Reducers int
 	MapTasks int
 	Cal      uint64
+	// Faults is the fault schedule's Fingerprint when the probe estimates a
+	// point under a fault scenario (the failure-aware scheduler's degraded
+	// ETAs); 0 — the clean sentinel — otherwise. It composes with Cal so a
+	// faulted estimate can never alias a clean entry, even on a degraded
+	// platform whose Spec and FS fingerprints happen to match a real one.
+	Faults uint64
 }
 
 // KeyFor builds the content key of running job isolated on p.
@@ -40,6 +46,14 @@ func KeyFor(p *mapreduce.Platform, job mapreduce.Job) Key {
 		MapTasks: job.MapTasks,
 		Cal:      p.Cal.Hash(),
 	}
+}
+
+// KeyForFaulted is KeyFor under a fault scenario: faultsFP is the schedule's
+// Fingerprint (0 degenerates to the clean key).
+func KeyForFaulted(p *mapreduce.Platform, job mapreduce.Job, faultsFP uint64) Key {
+	k := KeyFor(p, job)
+	k.Faults = faultsFP
+	return k
 }
 
 // hashFP accumulates words into an allocation-free FNV-1a fingerprint
@@ -161,6 +175,15 @@ func (c *Cache) Do(k Key, compute func() mapreduce.Result) mapreduce.Result {
 // Job.Submit, so a cached result may have been computed under another ID).
 func (c *Cache) RunIsolated(p *mapreduce.Platform, job mapreduce.Job) mapreduce.Result {
 	r := c.Do(KeyFor(p, job), func() mapreduce.Result { return p.RunIsolated(job) })
+	r.Job = job
+	return r
+}
+
+// RunIsolatedFaulted memoizes an isolated run probed under a fault scenario:
+// p is typically a degraded platform view and faultsFP the schedule's
+// Fingerprint, so the entry never aliases clean estimates of the same point.
+func (c *Cache) RunIsolatedFaulted(p *mapreduce.Platform, job mapreduce.Job, faultsFP uint64) mapreduce.Result {
+	r := c.Do(KeyForFaulted(p, job, faultsFP), func() mapreduce.Result { return p.RunIsolated(job) })
 	r.Job = job
 	return r
 }

@@ -117,6 +117,12 @@ func (r *Runner) RunIsolated(p *mapreduce.Platform, job mapreduce.Job) mapreduce
 	return r.cache.RunIsolated(p, job)
 }
 
+// RunIsolatedFaulted is RunIsolated keyed additionally by a fault schedule's
+// fingerprint, for degraded-ETA probes that must never alias clean entries.
+func (r *Runner) RunIsolatedFaulted(p *mapreduce.Platform, job mapreduce.Job, faultsFP uint64) mapreduce.Result {
+	return r.cache.RunIsolatedFaulted(p, job, faultsFP)
+}
+
 // RunPoints evaluates every point on the worker pool and returns one result
 // per point, in input order, memoizing each isolated run.
 func (r *Runner) RunPoints(pts []Point) []mapreduce.Result {
