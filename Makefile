@@ -2,8 +2,12 @@
 # (build + test) plus vet, the race layer and a bench smoke pass.
 
 GO ?= go
+# Benchmark iteration budget for bench-json: 1x for a CI smoke record,
+# something like 3x or a duration (2s) for a real perf-trajectory entry.
+BENCHTIME ?= 1x
+BENCH_JSON = BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: all build test race vet bench-smoke golden check
+.PHONY: all build test race vet bench-smoke bench-json golden check
 
 all: check
 
@@ -26,6 +30,17 @@ vet:
 # run even at -benchtime=1x).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Record a perf-trajectory entry: run every benchmark with allocation
+# counters and convert the output to BENCH_<date>.json (ns/op, allocs/op and
+# custom metrics like events/sec). CI's bench-smoke job runs this at
+# BENCHTIME=1x and uploads the artifact; for a real measurement use e.g.
+# `make bench-json BENCHTIME=3x`.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... > bench.out
+	$(GO) run ./cmd/benchjson < bench.out > $(BENCH_JSON)
+	@rm -f bench.out
+	@echo wrote $(BENCH_JSON)
 
 # Refresh the golden figure snapshots after an intentional model change.
 golden:

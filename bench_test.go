@@ -21,6 +21,7 @@ import (
 	"hybridmr/internal/figures"
 	"hybridmr/internal/mapreduce"
 	"hybridmr/internal/netmodel"
+	"hybridmr/internal/simclock"
 	"hybridmr/internal/storage/hdfs"
 	"hybridmr/internal/sweep"
 	"hybridmr/internal/units"
@@ -151,6 +152,108 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 		sim.Run()
 	}
+}
+
+// --- Event-kernel and dispatch benchmarks (the replay hot paths) ---
+
+// BenchmarkEngineRaw measures the raw event kernel: one schedule + one fire
+// per iteration against a deep pending heap, the steady state of a trace
+// replay. With the value-heap kernel this is zero-alloc; allocs/op is
+// reported so a regression is visible in BENCH_*.json.
+func BenchmarkEngineRaw(b *testing.B) {
+	e := simclock.New()
+	const depth = 1024 // realistic backlog: tasks + arrivals pending at once
+	remaining := b.N
+	var tick simclock.Event
+	tick = func(now time.Duration) {
+		if remaining > 0 {
+			remaining--
+			e.After(time.Microsecond, tick)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		e.After(time.Duration(i), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	if got := e.Events(); got < uint64(b.N) {
+		b.Fatalf("ran %d events, want ≥ %d", got, b.N)
+	}
+}
+
+// deepQueueTrace compresses n jobs' arrivals into one hour, so the FIFO/Fair
+// queue grows thousands of jobs deep — the regime where per-grant dispatch
+// cost dominates the replay.
+func deepQueueTrace(b *testing.B, n int) []workload.Job {
+	b.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Jobs = n
+	cfg.Duration = time.Hour
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs
+}
+
+// replayJobs runs one whole-cluster replay and returns the engine's event
+// count, for events/sec reporting.
+func replayJobs(b *testing.B, p *mapreduce.Platform, jobs []workload.Job, policy mapreduce.Policy) uint64 {
+	b.Helper()
+	sim := mapreduce.NewSimulator(p)
+	sim.SetPolicy(policy)
+	for _, j := range jobs {
+		sim.Submit(j.MapReduceJob())
+	}
+	res := sim.Run()
+	if len(res) != len(jobs) {
+		b.Fatalf("replayed %d of %d jobs", len(res), len(jobs))
+	}
+	return sim.Engine().Events()
+}
+
+// BenchmarkDispatchDeepQueue replays bursty traces whose slot queue stays
+// thousands of jobs deep — the workload that made the former O(active jobs)
+// pick scans quadratic. Sizes span 5k–50k jobs; both scheduling policies are
+// exercised at 5k.
+func BenchmarkDispatchDeepQueue(b *testing.B) {
+	p := mapreduce.MustArch(mapreduce.OutOFS, cal())
+	bench := func(n int, policy mapreduce.Policy) func(*testing.B) {
+		return func(b *testing.B) {
+			jobs := deepQueueTrace(b, n)
+			var events uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				events += replayJobs(b, p, jobs, policy)
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		}
+	}
+	b.Run("jobs=5000/fifo", bench(5000, mapreduce.FIFO))
+	b.Run("jobs=5000/fair", bench(5000, mapreduce.Fair))
+	b.Run("jobs=20000/fifo", bench(20000, mapreduce.FIFO))
+	b.Run("jobs=50000/fifo", bench(50000, mapreduce.FIFO))
+}
+
+// BenchmarkTraceReplay replays the full FB-2009 day (6000 jobs, the paper's
+// §V workload) on the out-OFS cluster under Fair scheduling — the
+// acceptance benchmark for the indexed-dispatch optimization.
+func BenchmarkTraceReplay(b *testing.B) {
+	cfg := traceConfig(6000)
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := mapreduce.MustArch(mapreduce.OutOFS, cal())
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events += replayJobs(b, p, jobs, mapreduce.Fair)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // --- Sweep-runner benchmarks (parallel vs serial vs memoized) ---

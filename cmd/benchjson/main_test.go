@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkDispatchDeepQueue/jobs=5000/fifo-8 \t 3\t 44500000 ns/op\t 3240000 events/sec\t 1234 B/op\t 56 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkDispatchDeepQueue/jobs=5000/fifo" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", b.Name)
+	}
+	if b.Iterations != 3 || b.NsPerOp != 44500000 {
+		t.Errorf("iters=%d ns/op=%v", b.Iterations, b.NsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 1234 || b.AllocsPerOp == nil || *b.AllocsPerOp != 56 {
+		t.Errorf("benchmem fields wrong: %+v", b)
+	}
+	if b.Metrics["events/sec"] != 3240000 {
+		t.Errorf("custom metric wrong: %v", b.Metrics)
+	}
+}
+
+func TestParseLineRejectsChatter(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \thybridmr\t12.3s",
+		"BenchmarkBroken no numbers here",
+		"Benchmark only-a-name",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parsed non-benchmark line %q", line)
+		}
+	}
+}
+
+func TestParseLineKeepsHyphenatedSubName(t *testing.T) {
+	// A trailing -N is only stripped when N is the numeric GOMAXPROCS
+	// suffix; a hyphenated sub-benchmark name survives.
+	b, ok := parseLine("BenchmarkX/case-a \t 10\t 5.0 ns/op")
+	if !ok || b.Name != "BenchmarkX/case-a" {
+		t.Errorf("name = %q, ok=%v", b.Name, ok)
+	}
+}

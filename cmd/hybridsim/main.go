@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -56,10 +58,36 @@ func main() {
 		speculate  = flag.Bool("speculate", false, "enable speculative execution for injected stragglers")
 		injectSeed = flag.Int64("inject-seed", 1, "seed for failure/straggler injection")
 		parallel   = flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *parallel != 0 {
 		sweep.SetDefaultWorkers(*parallel)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	inj := core.Inject{FailureRate: *failures, StragglerFrac: *stragglers, Speculate: *speculate, Seed: *injectSeed}
 
@@ -98,6 +126,7 @@ func runResilience(path string, jobs int, seed int64, spec string, inj core.Inje
 		fatal(err)
 	}
 	fmt.Print(r.Render())
+	fmt.Print(r.Footer())
 }
 
 func runSingle(appName, sizeStr, archName string) {

@@ -43,6 +43,14 @@ func (in Inject) Apply(sim *mapreduce.Simulator) error {
 	return nil
 }
 
+// ReplayStats receives kernel statistics from one replay. The counters are
+// deterministic (they count simulation events, not wall time), so callers may
+// compare them across runs.
+type ReplayStats struct {
+	// Events is the number of events the simulation kernel executed.
+	Events uint64
+}
+
 // FaultRun configures a trace replay under a fault schedule.
 type FaultRun struct {
 	// Schedule is the fault timeline; nil or empty replays a clean run.
@@ -64,6 +72,9 @@ type FaultRun struct {
 	// Runner memoizes the ETA probes of the failure-aware scheduler; nil
 	// uses the process-wide default.
 	Runner *sweep.Runner
+	// Stats, when non-nil, receives the replay's kernel statistics after the
+	// run completes (the resilience report's events/sec footer reads them).
+	Stats *ReplayStats
 }
 
 func (opt *FaultRun) defaults() (int, time.Duration, *sweep.Runner) {
@@ -182,6 +193,9 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 		eng.At(job.Submit, func(time.Duration) { submit(job) })
 	}
 	eng.Run()
+	if opt.Stats != nil {
+		opt.Stats.Events = eng.Events()
+	}
 
 	sort.Slice(results, func(i, j int) bool {
 		a, b := results[i], results[j]
@@ -244,6 +258,12 @@ func etaOn(sim *mapreduce.Simulator, job workload.Job, runner *sweep.Runner, fau
 // Schedule.ForBaseline()). Failed jobs stay failed — the traditional
 // architectures have no second half to retry on.
 func RunBaselineFaulted(p *mapreduce.Platform, jobs []workload.Job, policy mapreduce.Policy, events []faults.Event, inj Inject) ([]mapreduce.Result, error) {
+	return RunBaselineFaultedStats(p, jobs, policy, events, inj, nil)
+}
+
+// RunBaselineFaultedStats is RunBaselineFaulted with kernel statistics: a
+// non-nil stats receives the replay's executed-event count.
+func RunBaselineFaultedStats(p *mapreduce.Platform, jobs []workload.Job, policy mapreduce.Policy, events []faults.Event, inj Inject, stats *ReplayStats) ([]mapreduce.Result, error) {
 	sim := mapreduce.NewSimulator(p)
 	sim.SetPolicy(policy)
 	if err := inj.Apply(sim); err != nil {
@@ -255,5 +275,9 @@ func RunBaselineFaulted(p *mapreduce.Platform, jobs []workload.Job, policy mapre
 	for _, j := range jobs {
 		sim.Submit(j.MapReduceJob())
 	}
-	return sim.Run(), nil
+	rs := sim.Run()
+	if stats != nil {
+		stats.Events = sim.Engine().Events()
+	}
+	return rs, nil
 }

@@ -2,14 +2,19 @@ package figures
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"hybridmr/internal/core"
 	"hybridmr/internal/faults"
 	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/stats"
 	"hybridmr/internal/sweep"
+	"hybridmr/internal/workload"
 )
 
 // update rewrites the golden snapshots under testdata/golden/. Run
@@ -51,7 +56,80 @@ func goldenArtifacts(cal mapreduce.Calibration) []struct {
 			}
 			return r.Render(), nil
 		}},
+		// The FIFO crash-requeue replay: all 300 jobs are submitted at t=0
+		// so the FIFO queue stays thousands of tasks deep (the issue's
+		// worst-case dispatch regime), then mass crashes kill in-flight
+		// tasks and invalidate completed map output, re-entering tasks into
+		// the ready queue out of submission order — exactly the path where
+		// an indexed dispatch structure could silently diverge from the old
+		// linear scan. The arrival-spread demo schedule never catches the
+		// cluster busy, so this scenario forces kills (188+ task retries).
+		// Pinned per-job, byte for byte.
+		{"fifo_crash", func() (string, error) {
+			jobs, err := workload.Generate(smallTraceConfig(300))
+			if err != nil {
+				return "", err
+			}
+			for i := range jobs {
+				jobs[i].Submit = 0
+			}
+			p, err := mapreduce.NewTHadoop(cal)
+			if err != nil {
+				return "", err
+			}
+			sched, err := faults.NewSchedule([]faults.Event{
+				{At: 5 * time.Minute, Kind: faults.MachineCrash, Cluster: faults.ClusterAll, Count: 12},
+				{At: 20 * time.Minute, Kind: faults.MachineRecover, Cluster: faults.ClusterAll, Count: 12},
+				{At: 30 * time.Minute, Kind: faults.MachineCrash, Cluster: faults.ClusterAll, Count: 16},
+				{At: 45 * time.Minute, Kind: faults.MachineRecover, Cluster: faults.ClusterAll, Count: 16},
+			})
+			if err != nil {
+				return "", err
+			}
+			rs, err := core.RunBaselineFaulted(p, jobs, mapreduce.FIFO, sched.ForBaseline(), core.Inject{})
+			if err != nil {
+				return "", err
+			}
+			return renderBaselineReplay("THadoop FIFO deep queue under mass crashes", rs), nil
+		}},
 	}
+}
+
+// renderBaselineReplay renders a faulted baseline replay deterministically:
+// aggregate outcome plus a per-job sample pinning individual execution times
+// and retry counts (the crash-requeue order is visible in both).
+func renderBaselineReplay(title string, rs []mapreduce.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d jobs)\n", title, len(rs))
+	ok, failed, retries := 0, 0, 0
+	var makespan time.Duration
+	cdf := stats.NewCDF(nil)
+	for _, r := range rs {
+		retries += r.TaskRetries
+		if r.Err != nil {
+			failed++
+			continue
+		}
+		ok++
+		cdf.Add(r.Exec.Seconds())
+		if r.End > makespan {
+			makespan = r.End
+		}
+	}
+	fmt.Fprintf(&b, "ok %d failed %d makespan %.1fs task-retries %d\n",
+		ok, failed, makespan.Seconds(), retries)
+	fmt.Fprintf(&b, "exec mean %.2fs p50 %.2fs p99 %.2fs\n",
+		cdf.Mean(), cdf.Quantile(0.5), cdf.Quantile(0.99))
+	for i := 0; i < len(rs); i += 25 {
+		r := rs[i]
+		status := "ok"
+		if r.Err != nil {
+			status = "failed"
+		}
+		fmt.Fprintf(&b, "  %-14s %-6s exec %10.2fs retries %d\n",
+			r.Job.ID, status, r.Exec.Seconds(), r.TaskRetries)
+	}
+	return b.String()
 }
 
 func goldenPath(name string) string {

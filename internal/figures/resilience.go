@@ -45,6 +45,13 @@ type Resilience struct {
 	Inject   core.Inject
 
 	FailureAware, Static, THadoop, RHadoop, Clean ArchResilience
+
+	// TotalEvents counts the simulation events the kernel executed across
+	// all five replays (deterministic); Wall is the wall-clock time the
+	// replays took (not deterministic). Both feed Footer, never Render —
+	// Render is golden-snapshotted and must stay byte-identical.
+	TotalEvents uint64
+	Wall        time.Duration
 }
 
 // jobOutcome normalizes hybrid and baseline results for summarizing.
@@ -98,33 +105,36 @@ func RunResilienceJobs(cal mapreduce.Calibration, jobs []workload.Job, sched *fa
 		}
 		return out
 	}
-	baseline := func(build func(mapreduce.Calibration) (*mapreduce.Platform, error)) func() ([]jobOutcome, error) {
-		return func() ([]jobOutcome, error) {
+	baseline := func(build func(mapreduce.Calibration) (*mapreduce.Platform, error)) func() ([]jobOutcome, uint64, error) {
+		return func() ([]jobOutcome, uint64, error) {
 			p, err := build(cal)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
-			rs, err := core.RunBaselineFaulted(p, jobs, mapreduce.Fair, sched.ForBaseline(), inj)
+			var st core.ReplayStats
+			rs, err := core.RunBaselineFaultedStats(p, jobs, mapreduce.Fair, sched.ForBaseline(), inj, &st)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
-			return fromBaseline(rs), nil
+			return fromBaseline(rs), st.Events, nil
 		}
 	}
-	hybridRun := func(opt core.FaultRun) func() ([]jobOutcome, error) {
-		return func() ([]jobOutcome, error) {
+	hybridRun := func(opt core.FaultRun) func() ([]jobOutcome, uint64, error) {
+		return func() ([]jobOutcome, uint64, error) {
+			var st core.ReplayStats
+			opt.Stats = &st
 			rs, err := hybrid.RunFaulted(jobs, opt)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
-			return fromHybrid(rs), nil
+			return fromHybrid(rs), st.Events, nil
 		}
 	}
 
 	replays := []struct {
 		name string
 		into *ArchResilience
-		run  func() ([]jobOutcome, error)
+		run  func() ([]jobOutcome, uint64, error)
 	}{
 		{"Hybrid-FA", nil, hybridRun(core.FaultRun{Schedule: sched, Inject: inj, FailureAware: true})},
 		{"Hybrid-static", nil, hybridRun(core.FaultRun{Schedule: sched, Inject: inj})},
@@ -139,19 +149,36 @@ func RunResilienceJobs(cal mapreduce.Calibration, jobs []workload.Job, sched *fa
 
 	type outcome struct {
 		results []jobOutcome
+		events  uint64
 		err     error
 	}
+	start := time.Now()
 	outs := sweep.Map(sweep.Default().Workers(), len(replays), func(i int) outcome {
-		rs, err := replays[i].run()
-		return outcome{results: rs, err: err}
+		rs, events, err := replays[i].run()
+		return outcome{results: rs, events: events, err: err}
 	})
+	res.Wall = time.Since(start)
 	for i, o := range outs {
 		if o.err != nil {
 			return nil, fmt.Errorf("figures: %s: %w", replays[i].name, o.err)
 		}
+		res.TotalEvents += o.events
 		*replays[i].into = summarize(replays[i].name, o.results)
 	}
 	return res, nil
+}
+
+// Footer returns the kernel-throughput line for CLI display: total events
+// executed across the five replays and the aggregate events/sec. It is
+// deliberately not part of Render — Render is golden-snapshotted, and wall
+// time varies run to run.
+func (r *Resilience) Footer() string {
+	if r.Wall <= 0 {
+		return fmt.Sprintf("kernel: %d events across %d replays\n", r.TotalEvents, len(r.archs()))
+	}
+	return fmt.Sprintf("kernel: %d events across %d replays in %.2fs (%.0f events/sec)\n",
+		r.TotalEvents, len(r.archs()), r.Wall.Seconds(),
+		float64(r.TotalEvents)/r.Wall.Seconds())
 }
 
 func summarize(name string, rs []jobOutcome) ArchResilience {

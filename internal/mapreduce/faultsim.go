@@ -2,9 +2,11 @@ package mapreduce
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"hybridmr/internal/faults"
+	"hybridmr/internal/simclock"
 )
 
 // This file threads the fault-schedule layer (internal/faults) through the
@@ -24,21 +26,81 @@ import (
 
 // attempt tracks one in-flight task attempt so a machine crash can kill it:
 // the slot dies with the machine and the completion callback must not fire.
+// idx is the attempt's position in Simulator.inflight (swap-remove
+// back-pointer); seq is the global start order, which killAttempts uses to
+// select the newest attempts deterministically now that swap-remove no
+// longer keeps the slice chronologically ordered. fireFn is the bound fire
+// method, created once per attempt object and reused across recycles, so a
+// task start schedules its completion without allocating a closure.
 type attempt struct {
+	sim    *Simulator
 	run    *jobRun
 	taskID int
 	isMap  bool
 	killed bool
+	seq    uint64
+	idx    int
+	fireFn simclock.Event
 }
 
-// removeAttempt drops a finished attempt from the in-flight list.
-func (s *Simulator) removeAttempt(att *attempt) {
-	for i, a := range s.inflight {
-		if a == att {
-			s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
-			return
-		}
+// fire is the attempt's completion event. A killed attempt's slot died with
+// its machine and the crash already re-queued the task, so only the stale
+// timer remains to swallow. Either way the attempt recycles here: this
+// callback is its last reader.
+func (att *attempt) fire(now time.Duration) {
+	s := att.sim
+	if att.killed {
+		s.recycleAttempt(att)
+		return
 	}
+	s.removeAttempt(att)
+	run, taskID, isMap := att.run, att.taskID, att.isMap
+	s.recycleAttempt(att)
+	if isMap {
+		s.mapTaskDone(run, taskID, now)
+	} else {
+		s.redTaskDone(run, taskID, now)
+	}
+}
+
+// addAttempt registers a starting task attempt in the in-flight index,
+// reusing a recycled attempt when one is free so steady-state task traffic
+// does not allocate per attempt.
+func (s *Simulator) addAttempt(run *jobRun, taskID int, isMap bool) *attempt {
+	var att *attempt
+	if n := len(s.attemptFree); n > 0 {
+		att = s.attemptFree[n-1]
+		s.attemptFree[n-1] = nil
+		s.attemptFree = s.attemptFree[:n-1]
+	} else {
+		att = &attempt{}
+		att.fireFn = att.fire
+	}
+	s.attemptSeq++
+	att.sim, att.run, att.taskID, att.isMap, att.killed = s, run, taskID, isMap, false
+	att.seq, att.idx = s.attemptSeq, len(s.inflight)
+	s.inflight = append(s.inflight, att)
+	return att
+}
+
+// removeAttempt drops a finished attempt from the in-flight index in O(1)
+// via its back-pointer (the former implementation scanned the whole list on
+// every task completion).
+func (s *Simulator) removeAttempt(att *attempt) {
+	i := att.idx
+	last := len(s.inflight) - 1
+	s.inflight[i] = s.inflight[last]
+	s.inflight[i].idx = i
+	s.inflight[last] = nil
+	s.inflight = s.inflight[:last]
+	att.idx = -1
+}
+
+// recycleAttempt returns an attempt to the freelist. Only the attempt's own
+// completion callback may call it — after removeAttempt on a normal finish,
+// or on observing killed — because that callback is the last reader.
+func (s *Simulator) recycleAttempt(att *attempt) {
+	s.attemptFree = append(s.attemptFree, att)
 }
 
 // ScheduleFaults validates a fault timeline against this platform and
@@ -158,16 +220,27 @@ func (s *Simulator) crashMachines(k int, now time.Duration) {
 }
 
 // killAttempts kills up to n in-flight attempts of one kind, newest first,
-// re-queuing each task on its job, and returns how many died.
+// re-queuing each task on its job, and returns how many died. Newest-first
+// is by attempt start order (attempt.seq): the same selection the
+// pre-indexed implementation made by walking the chronologically ordered
+// in-flight slice from the back, so faulted replays are byte-identical.
 func (s *Simulator) killAttempts(isMap bool, n int) int {
-	killed := 0
-	for i := len(s.inflight) - 1; i >= 0 && killed < n; i-- {
-		att := s.inflight[i]
-		if att.isMap != isMap {
-			continue
+	if n <= 0 {
+		return 0
+	}
+	victims := make([]*attempt, 0, n)
+	for _, att := range s.inflight {
+		if att.isMap == isMap {
+			victims = append(victims, att)
 		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].seq > victims[j].seq })
+	if n < len(victims) {
+		victims = victims[:n]
+	}
+	for _, att := range victims {
 		att.killed = true
-		s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
+		s.removeAttempt(att)
 		run := att.run
 		if isMap {
 			run.runningMaps--
@@ -175,18 +248,20 @@ func (s *Simulator) killAttempts(isMap bool, n int) int {
 				// A crash kill is Hadoop's KILLED, not FAILED: it
 				// does not count against the task's max attempts.
 				run.pendingMapIDs = append(run.pendingMapIDs, att.taskID)
+				s.queuedMaps++
 				run.retries++
 			}
+			s.touch(kMap, run)
 		} else {
 			run.runningReds--
 			if !run.failed {
 				run.pendingRedIDs = append(run.pendingRedIDs, att.taskID)
 				run.retries++
 			}
+			s.touch(kRed, run)
 		}
-		killed++
 	}
-	return killed
+	return len(victims)
 }
 
 // loseCompletedMaps re-queues the prorated share of each map-phase job's
@@ -205,8 +280,10 @@ func (s *Simulator) loseCompletedMaps(k, avail int) {
 			run.doneMapIDs = run.doneMapIDs[:len(run.doneMapIDs)-1]
 			run.pendingMapIDs = append(run.pendingMapIDs, id)
 		}
+		s.queuedMaps += lost
 		run.mapsDone -= lost
 		run.retries += lost
+		s.touch(kMap, run)
 	}
 }
 

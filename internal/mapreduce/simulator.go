@@ -37,6 +37,14 @@ func (p Policy) String() string {
 	}
 }
 
+// taskKind indexes the per-kind dispatch state (ready sets, intrusive
+// linkage) on Simulator and jobRun.
+const (
+	kMap = iota
+	kRed
+	nKinds
+)
+
 // Simulator runs an arriving workload of jobs on one platform, sharing its
 // map and reduce slot pools among concurrent jobs under the configured
 // scheduling policy. Task durations come from the platform's cost model;
@@ -50,10 +58,18 @@ type Simulator struct {
 	freeMap, freeRed int
 	capMap, capRed   int
 	setupMaps        int       // map tasks of jobs still in their setup phase
-	active           []*jobRun // jobs with pending or running tasks
+	queuedMaps       int       // pending map tasks across active jobs (O(1) MapQueueDepth)
+	active           []*jobRun // jobs with pending or running tasks (swap-remove via activeIdx)
 	results          []Result
 	running          int
 	seq              int
+
+	// ready indexes the jobs a free slot can go to, per task kind — the
+	// former pickMap/pickReduce linear scans over every active job, made
+	// incremental: FIFO keeps an intrusive arrival-ordered list (O(1)
+	// pick), Fair a positional heap on (running tasks, arrival), updated
+	// as tasks start and finish.
+	ready [nKinds]readySet
 
 	// Failure injection (Hadoop re-executes failed tasks, up to
 	// Cal.MaxTaskAttempts, mirroring mapred.map.max.attempts).
@@ -67,18 +83,22 @@ type Simulator struct {
 	speculative bool
 	jitterRNG   *stats.RNG
 
-	// Utilization accounting: slot-seconds integrated over simulated time.
+	// Utilization accounting: slot-seconds integrated over simulated time,
+	// O(1) per slot-count transition (no rescan of active jobs).
 	lastChange time.Duration
 	mapSlotSec float64
 	redSlotSec float64
 
 	// Fault injection (faultsim.go): current machine/storage losses, the
 	// memoized degraded platform views jobs are planned against, and the
-	// in-flight attempts a crash can kill.
+	// in-flight attempts a crash can kill (swap-remove via attempt.idx,
+	// recycled through attemptFree).
 	machinesDown int
 	storageDown  int
 	degraded     map[[2]int]*Platform
 	inflight     []*attempt
+	attemptSeq   uint64
+	attemptFree  []*attempt
 
 	// onResult, when set, receives finished results instead of the
 	// internal list (SetResultHook).
@@ -95,7 +115,7 @@ func NewSimulator(p *Platform) *Simulator {
 // several clusters (e.g. the hybrid's scale-up and scale-out halves) share
 // one simulated clock while keeping separate slot pools.
 func NewSimulatorOn(eng *simclock.Engine, p *Platform) *Simulator {
-	return &Simulator{
+	s := &Simulator{
 		platform: p,
 		eng:      eng,
 		freeMap:  p.Spec.MapSlots(),
@@ -103,10 +123,17 @@ func NewSimulatorOn(eng *simclock.Engine, p *Platform) *Simulator {
 		capMap:   p.Spec.MapSlots(),
 		capRed:   p.Spec.ReduceSlots(),
 	}
+	s.ready[kMap].kind = kMap
+	s.ready[kRed].kind = kRed
+	return s
 }
 
 // SetPolicy selects the slot-sharing policy; call before Run.
-func (s *Simulator) SetPolicy(p Policy) { s.policy = p }
+func (s *Simulator) SetPolicy(p Policy) {
+	s.policy = p
+	s.ready[kMap].policy = p
+	s.ready[kRed].policy = p
+}
 
 // InjectFailures makes each task attempt fail with probability rate; a
 // failed attempt occupies its slot for the full task duration and is then
@@ -214,14 +241,8 @@ func (s *Simulator) Engine() *simclock.Engine { return s.eng }
 
 // MapQueueDepth reports map tasks waiting for a slot right now, including
 // tasks of jobs still in their setup phase; the load balancer extension
-// uses it.
-func (s *Simulator) MapQueueDepth() int {
-	n := s.setupMaps
-	for _, r := range s.active {
-		n += len(r.pendingMapIDs)
-	}
-	return n
-}
+// uses it. O(1): the counts are maintained incrementally.
+func (s *Simulator) MapQueueDepth() int { return s.setupMaps + s.queuedMaps }
 
 // MapSlotsInUse reports currently occupied map slots.
 func (s *Simulator) MapSlotsInUse() int { return s.capMap - s.freeMap }
@@ -230,7 +251,8 @@ func (s *Simulator) MapSlotsInUse() int { return s.capMap - s.freeMap }
 func (s *Simulator) MapSlotCapacity() int { return s.capMap }
 
 // accrue integrates busy slot-seconds up to the current instant; call
-// before any slot-count change.
+// before any slot-count change. O(1) per transition: only the elapsed
+// interval and the current busy counts are read, never the job list.
 func (s *Simulator) accrue(now time.Duration) {
 	dt := (now - s.lastChange).Seconds()
 	if dt > 0 {
@@ -273,6 +295,218 @@ type jobRun struct {
 	startedMap  bool
 	lastMapDone time.Duration
 	shuffleDone time.Duration
+
+	// Dispatch-index linkage, one slot per task kind. activeIdx is the
+	// job's position in Simulator.active; next/prev/inList are the FIFO
+	// ready list's intrusive pointers; heapPos is the Fair ready heap's
+	// position+1 (0 = absent).
+	activeIdx  int
+	next, prev [nKinds]*jobRun
+	inList     [nKinds]bool
+	heapPos    [nKinds]int
+}
+
+// pendingLen returns the job's pending-task count of one kind.
+func (r *jobRun) pendingLen(kind int) int {
+	if kind == kMap {
+		return len(r.pendingMapIDs)
+	}
+	return len(r.pendingRedIDs)
+}
+
+// runningOf returns the job's running-task count of one kind (Fair's key).
+func (r *jobRun) runningOf(kind int) int {
+	if kind == kMap {
+		return r.runningMaps
+	}
+	return r.runningReds
+}
+
+// readySet indexes the active jobs holding pending tasks of one kind — the
+// incremental replacement for scanning every active job per slot grant.
+//
+// Under FIFO the set is an intrusive doubly-linked list kept in ascending
+// submission order: pick is the head in O(1), and insertion is O(1) in the
+// fault-free steady state (jobs become runnable in arrival order, so they
+// append at the tail); only a fault/failure re-queue of an old job walks
+// from the head. Under Fair it is a positional binary min-heap keyed on
+// (running tasks, submission seq) with back-pointers on jobRun, fixed
+// incrementally as tasks start and finish. Both pick exactly the job the
+// former pickMap/pickReduce scans chose: the key orders are total (seq is
+// unique), so the minimum is unique and replay output is byte-identical.
+type readySet struct {
+	policy     Policy
+	kind       int
+	head, tail *jobRun   // FIFO list
+	heap       []*jobRun // Fair heap
+}
+
+// pick returns the job the next free slot goes to, or nil.
+func (rs *readySet) pick() *jobRun {
+	if rs.policy == Fair {
+		if len(rs.heap) == 0 {
+			return nil
+		}
+		return rs.heap[0]
+	}
+	return rs.head
+}
+
+// set reconciles the job's membership: insert when it became ready, remove
+// when it no longer is, re-position (Fair) when its key may have changed.
+func (rs *readySet) set(r *jobRun, ready bool) {
+	if rs.policy == Fair {
+		in := r.heapPos[rs.kind] != 0
+		switch {
+		case ready && !in:
+			rs.heapPush(r)
+		case ready && in:
+			rs.heapFix(r)
+		case !ready && in:
+			rs.heapRemove(r)
+		}
+		return
+	}
+	in := r.inList[rs.kind]
+	switch {
+	case ready && !in:
+		rs.listInsert(r)
+	case !ready && in:
+		rs.listRemove(r)
+	}
+}
+
+func (rs *readySet) listInsert(r *jobRun) {
+	k := rs.kind
+	r.inList[k] = true
+	if rs.tail == nil {
+		r.prev[k], r.next[k] = nil, nil
+		rs.head, rs.tail = r, r
+		return
+	}
+	if r.seq > rs.tail.seq {
+		r.prev[k], r.next[k] = rs.tail, nil
+		rs.tail.next[k] = r
+		rs.tail = r
+		return
+	}
+	// Re-entry of an old job (fault or failure re-queue): it belongs near
+	// the front, so walk from the head.
+	n := rs.head
+	for n.seq < r.seq {
+		n = n.next[k]
+	}
+	r.prev[k], r.next[k] = n.prev[k], n
+	if n.prev[k] != nil {
+		n.prev[k].next[k] = r
+	} else {
+		rs.head = r
+	}
+	n.prev[k] = r
+}
+
+func (rs *readySet) listRemove(r *jobRun) {
+	k := rs.kind
+	if r.prev[k] != nil {
+		r.prev[k].next[k] = r.next[k]
+	} else {
+		rs.head = r.next[k]
+	}
+	if r.next[k] != nil {
+		r.next[k].prev[k] = r.prev[k]
+	} else {
+		rs.tail = r.prev[k]
+	}
+	r.prev[k], r.next[k] = nil, nil
+	r.inList[k] = false
+}
+
+// less orders the Fair heap: fewest running tasks first (max-min fairness),
+// oldest submission on ties.
+func (rs *readySet) less(a, b *jobRun) bool {
+	ka, kb := a.runningOf(rs.kind), b.runningOf(rs.kind)
+	return ka < kb || (ka == kb && a.seq < b.seq)
+}
+
+func (rs *readySet) heapPush(r *jobRun) {
+	rs.heap = append(rs.heap, r)
+	r.heapPos[rs.kind] = len(rs.heap)
+	rs.heapUp(len(rs.heap) - 1)
+}
+
+func (rs *readySet) heapSwap(i, j int) {
+	rs.heap[i], rs.heap[j] = rs.heap[j], rs.heap[i]
+	rs.heap[i].heapPos[rs.kind] = i + 1
+	rs.heap[j].heapPos[rs.kind] = j + 1
+}
+
+func (rs *readySet) heapUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !rs.less(rs.heap[i], rs.heap[p]) {
+			break
+		}
+		rs.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (rs *readySet) heapDown(i int) {
+	n := len(rs.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && rs.less(rs.heap[r], rs.heap[l]) {
+			best = r
+		}
+		if !rs.less(rs.heap[best], rs.heap[i]) {
+			return
+		}
+		rs.heapSwap(i, best)
+		i = best
+	}
+}
+
+func (rs *readySet) heapFix(r *jobRun) {
+	i := r.heapPos[rs.kind] - 1
+	rs.heapUp(i)
+	rs.heapDown(i)
+}
+
+func (rs *readySet) heapRemove(r *jobRun) {
+	i := r.heapPos[rs.kind] - 1
+	last := len(rs.heap) - 1
+	if i != last {
+		rs.heapSwap(i, last)
+	}
+	rs.heap[last] = nil
+	rs.heap = rs.heap[:last]
+	r.heapPos[rs.kind] = 0
+	if i != last {
+		rs.heapUp(i)
+		rs.heapDown(i)
+	}
+}
+
+// touch reconciles the job's ready-set state after any change to its
+// pending or running task counts of one kind. Every mutation site calls it;
+// keeping the rule that blunt keeps the index impossible to desynchronize.
+func (s *Simulator) touch(kind int, run *jobRun) {
+	s.ready[kind].set(run, !run.failed && run.pendingLen(kind) > 0)
+}
+
+// removeActive drops a finished or failed job from the active list in O(1).
+func (s *Simulator) removeActive(run *jobRun) {
+	i := run.activeIdx
+	last := len(s.active) - 1
+	s.active[i] = s.active[last]
+	s.active[i].activeIdx = i
+	s.active[last] = nil
+	s.active = s.active[:last]
+	run.activeIdx = -1
 }
 
 func (s *Simulator) startJob(job Job, now time.Duration) {
@@ -296,76 +530,25 @@ func (s *Simulator) startJob(job Job, now time.Duration) {
 		s.setupMaps -= pl.mapTasks
 		run.start = now
 		run.pendingMapIDs = taskIDs(0, pl.mapTasks)
+		s.queuedMaps += pl.mapTasks
+		run.activeIdx = len(s.active)
 		s.active = append(s.active, run)
+		s.touch(kMap, run)
 		s.dispatch(now)
 	})
-}
-
-// pickMap selects the next job to grant a map slot: FIFO takes the oldest
-// job with pending maps; Fair takes the job with the fewest running maps
-// (max-min fairness, ties to the oldest).
-func (s *Simulator) pickMap() *jobRun {
-	var best *jobRun
-	for _, r := range s.active {
-		if len(r.pendingMapIDs) == 0 {
-			continue
-		}
-		if best == nil {
-			best = r
-			continue
-		}
-		switch s.policy {
-		case Fair:
-			if r.runningMaps < best.runningMaps ||
-				(r.runningMaps == best.runningMaps && r.seq < best.seq) {
-				best = r
-			}
-		default: // FIFO
-			if r.seq < best.seq {
-				best = r
-			}
-		}
-	}
-	return best
-}
-
-// pickReduce is the reduce-slot analogue of pickMap.
-func (s *Simulator) pickReduce() *jobRun {
-	var best *jobRun
-	for _, r := range s.active {
-		if len(r.pendingRedIDs) == 0 {
-			continue
-		}
-		if best == nil {
-			best = r
-			continue
-		}
-		switch s.policy {
-		case Fair:
-			if r.runningReds < best.runningReds ||
-				(r.runningReds == best.runningReds && r.seq < best.seq) {
-				best = r
-			}
-		default:
-			if r.seq < best.seq {
-				best = r
-			}
-		}
-	}
-	return best
 }
 
 // dispatch hands out free slots until none remain or nothing is runnable.
 func (s *Simulator) dispatch(now time.Duration) {
 	for s.freeMap > 0 {
-		run := s.pickMap()
+		run := s.ready[kMap].pick()
 		if run == nil {
 			break
 		}
 		s.startMapTask(run, now)
 	}
 	for s.freeRed > 0 {
-		run := s.pickReduce()
+		run := s.ready[kRed].pick()
 		if run == nil {
 			break
 		}
@@ -378,52 +561,59 @@ func (s *Simulator) startMapTask(run *jobRun, now time.Duration) {
 	s.freeMap--
 	taskID := run.pendingMapIDs[len(run.pendingMapIDs)-1]
 	run.pendingMapIDs = run.pendingMapIDs[:len(run.pendingMapIDs)-1]
+	s.queuedMaps--
 	run.runningMaps++
+	s.touch(kMap, run)
 	if !run.startedMap {
 		run.startedMap = true
 		run.firstMapAt = now
 	}
-	att := &attempt{run: run, taskID: taskID, isMap: true}
-	s.inflight = append(s.inflight, att)
-	s.eng.After(s.jitterDuration(run.pl.mapTask), func(now time.Duration) {
-		if att.killed {
-			return // the machine died under the task; the crash re-queued it
-		}
-		s.removeAttempt(att)
-		s.accrue(now)
-		s.freeMap++
-		run.runningMaps--
-		if s.attemptFails() && !run.failed {
-			if s.recordFailure(run, taskID) {
-				// Re-execute: the task goes back to pending.
-				run.pendingMapIDs = append(run.pendingMapIDs, taskID)
-				run.retries++
-				s.dispatch(now)
-				return
-			}
-			s.failJob(run, now, "map")
+	att := s.addAttempt(run, taskID, true)
+	s.eng.After(s.jitterDuration(run.pl.mapTask), att.fireFn)
+}
+
+// mapTaskDone is a map attempt's completion: the slot frees, and the task
+// either re-queues (injected failure under the attempt budget), fails the
+// job, or counts toward the map phase, whose end schedules the shuffle.
+func (s *Simulator) mapTaskDone(run *jobRun, taskID int, now time.Duration) {
+	s.accrue(now)
+	s.freeMap++
+	run.runningMaps--
+	if s.attemptFails() && !run.failed {
+		if s.recordFailure(run, taskID) {
+			// Re-execute: the task goes back to pending.
+			run.pendingMapIDs = append(run.pendingMapIDs, taskID)
+			s.queuedMaps++
+			run.retries++
+			s.touch(kMap, run)
 			s.dispatch(now)
 			return
 		}
-		if run.failed {
-			s.dispatch(now)
-			return
-		}
-		run.mapsDone++
-		run.doneMapIDs = append(run.doneMapIDs, taskID)
-		if run.mapsDone == run.pl.mapTasks {
-			run.lastMapDone = now
-			run.shuffling = true
-			s.eng.After(run.pl.shuffle, func(now time.Duration) {
-				run.shuffling = false
-				run.shuffleDone = now
-				// Reduce task ids follow the map ids.
-				run.pendingRedIDs = taskIDs(run.pl.mapTasks, run.pl.reducers)
-				s.dispatch(now)
-			})
-		}
+		s.failJob(run, now, "map")
 		s.dispatch(now)
-	})
+		return
+	}
+	if run.failed {
+		s.touch(kMap, run)
+		s.dispatch(now)
+		return
+	}
+	run.mapsDone++
+	run.doneMapIDs = append(run.doneMapIDs, taskID)
+	s.touch(kMap, run)
+	if run.mapsDone == run.pl.mapTasks {
+		run.lastMapDone = now
+		run.shuffling = true
+		s.eng.After(run.pl.shuffle, func(now time.Duration) {
+			run.shuffling = false
+			run.shuffleDone = now
+			// Reduce task ids follow the map ids.
+			run.pendingRedIDs = taskIDs(run.pl.mapTasks, run.pl.reducers)
+			s.touch(kRed, run)
+			s.dispatch(now)
+		})
+	}
+	s.dispatch(now)
 }
 
 func (s *Simulator) startReduceTask(run *jobRun, now time.Duration) {
@@ -432,37 +622,40 @@ func (s *Simulator) startReduceTask(run *jobRun, now time.Duration) {
 	taskID := run.pendingRedIDs[len(run.pendingRedIDs)-1]
 	run.pendingRedIDs = run.pendingRedIDs[:len(run.pendingRedIDs)-1]
 	run.runningReds++
-	att := &attempt{run: run, taskID: taskID, isMap: false}
-	s.inflight = append(s.inflight, att)
-	s.eng.After(s.jitterDuration(run.pl.redTask), func(now time.Duration) {
-		if att.killed {
-			return // the machine died under the task; the crash re-queued it
-		}
-		s.removeAttempt(att)
-		s.accrue(now)
-		s.freeRed++
-		run.runningReds--
-		if s.attemptFails() && !run.failed {
-			if s.recordFailure(run, taskID) {
-				run.pendingRedIDs = append(run.pendingRedIDs, taskID)
-				run.retries++
-				s.dispatch(now)
-				return
-			}
-			s.failJob(run, now, "reduce")
+	s.touch(kRed, run)
+	att := s.addAttempt(run, taskID, false)
+	s.eng.After(s.jitterDuration(run.pl.redTask), att.fireFn)
+}
+
+// redTaskDone is a reduce attempt's completion, mirroring mapTaskDone; the
+// last reduce completes the job.
+func (s *Simulator) redTaskDone(run *jobRun, taskID int, now time.Duration) {
+	s.accrue(now)
+	s.freeRed++
+	run.runningReds--
+	if s.attemptFails() && !run.failed {
+		if s.recordFailure(run, taskID) {
+			run.pendingRedIDs = append(run.pendingRedIDs, taskID)
+			run.retries++
+			s.touch(kRed, run)
 			s.dispatch(now)
 			return
 		}
-		if run.failed {
-			s.dispatch(now)
-			return
-		}
-		run.redsDone++
-		if run.redsDone == run.pl.reducers {
-			s.completeJob(run, now)
-		}
+		s.failJob(run, now, "reduce")
 		s.dispatch(now)
-	})
+		return
+	}
+	if run.failed {
+		s.touch(kRed, run)
+		s.dispatch(now)
+		return
+	}
+	run.redsDone++
+	s.touch(kRed, run)
+	if run.redsDone == run.pl.reducers {
+		s.completeJob(run, now)
+	}
+	s.dispatch(now)
 }
 
 // taskIDs returns the id range [base, base+n).
@@ -491,14 +684,12 @@ func (s *Simulator) failJob(run *jobRun, now time.Duration, phase string) {
 		return
 	}
 	run.failed = true
+	s.queuedMaps -= len(run.pendingMapIDs)
 	run.pendingMapIDs = nil
 	run.pendingRedIDs = nil
-	for i, r := range s.active {
-		if r == run {
-			s.active = append(s.active[:i], s.active[i+1:]...)
-			break
-		}
-	}
+	s.touch(kMap, run)
+	s.touch(kRed, run)
+	s.removeActive(run)
 	s.finish(Result{
 		Job:      run.job,
 		Platform: s.platform.Name,
@@ -511,12 +702,9 @@ func (s *Simulator) failJob(run *jobRun, now time.Duration, phase string) {
 }
 
 func (s *Simulator) completeJob(run *jobRun, end time.Duration) {
-	for i, r := range s.active {
-		if r == run {
-			s.active = append(s.active[:i], s.active[i+1:]...)
-			break
-		}
-	}
+	s.touch(kMap, run)
+	s.touch(kRed, run)
+	s.removeActive(run)
 	s.finish(Result{
 		Job:             run.job,
 		Platform:        s.platform.Name,

@@ -5,11 +5,18 @@ import "fmt"
 // Pool is a counting resource (e.g. a cluster's map or reduce slots) in
 // simulated time. Acquire requests run FIFO: this mirrors Hadoop 1.x's
 // default FIFO scheduler, which the paper's clusters use.
+//
+// The waiter queue is a power-of-two ring buffer: Release dequeues the
+// oldest waiter in O(1) without the former shift-copy, memory stays bounded
+// by the deepest backlog ever seen, and vacated slots are nilled so granted
+// callbacks (and the job state their closures capture) remain collectable.
 type Pool struct {
 	eng      *Engine
 	capacity int
 	inUse    int
-	waiters  []Event
+	waiters  []Event // ring buffer; len(waiters) is a power of two
+	head     int     // index of the oldest waiter
+	queued   int     // live waiters in the ring
 	// peak tracks the maximum concurrent occupancy, for utilization reports.
 	peak int
 }
@@ -29,7 +36,7 @@ func (p *Pool) Capacity() int { return p.capacity }
 func (p *Pool) InUse() int { return p.inUse }
 
 // Queued returns the number of acquire requests waiting for a slot.
-func (p *Pool) Queued() int { return len(p.waiters) }
+func (p *Pool) Queued() int { return p.queued }
 
 // Peak returns the maximum concurrent occupancy observed.
 func (p *Pool) Peak() int { return p.peak }
@@ -44,7 +51,26 @@ func (p *Pool) Acquire(fn Event) {
 		p.grant(fn)
 		return
 	}
-	p.waiters = append(p.waiters, fn)
+	if p.queued == len(p.waiters) {
+		p.growRing()
+	}
+	p.waiters[(p.head+p.queued)&(len(p.waiters)-1)] = fn
+	p.queued++
+}
+
+// growRing doubles the ring, unrolling the wrapped queue into the front of
+// the new buffer so (head+i) indexing stays valid.
+func (p *Pool) growRing() {
+	size := 2 * len(p.waiters)
+	if size == 0 {
+		size = 8
+	}
+	ring := make([]Event, size)
+	for i := 0; i < p.queued; i++ {
+		ring[i] = p.waiters[(p.head+i)&(len(p.waiters)-1)]
+	}
+	p.waiters = ring
+	p.head = 0
 }
 
 func (p *Pool) grant(fn Event) {
@@ -61,14 +87,11 @@ func (p *Pool) Release() {
 		panic("simclock: Release without Acquire")
 	}
 	p.inUse--
-	if len(p.waiters) > 0 {
-		fn := p.waiters[0]
-		// Shift rather than re-slice forever to keep memory bounded, and
-		// nil the vacated tail slot so the granted callback's closure (and
-		// whatever job state it captures) is collectable once it runs.
-		copy(p.waiters, p.waiters[1:])
-		p.waiters[len(p.waiters)-1] = nil
-		p.waiters = p.waiters[:len(p.waiters)-1]
+	if p.queued > 0 {
+		fn := p.waiters[p.head]
+		p.waiters[p.head] = nil // the grant owns the callback now
+		p.head = (p.head + 1) & (len(p.waiters) - 1)
+		p.queued--
 		p.grant(fn)
 	}
 }

@@ -3,6 +3,7 @@ package sweep
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"hybridmr/internal/apps"
 	"hybridmr/internal/cluster"
@@ -137,11 +138,16 @@ func profileFP(p apps.Profile) uint64 {
 // Cache memoizes isolated simulation results by Key. It is safe for
 // concurrent use; concurrent requests for the same key run the simulation
 // exactly once (the losers block until the winner's result is ready).
+//
+// The entry map is a sync.Map rather than a mutex-guarded map: the cache is
+// append-only with a read-mostly steady state (every repeated figure point
+// and every failure-aware ETA probe is a hit), which is exactly the shape
+// sync.Map's lock-free read path is built for. Under the parallel resilience
+// replays the old global mutex was the contention point.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[Key]*entry
-	hits    uint64
-	misses  uint64
+	entries sync.Map // Key -> *entry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
 }
 
 type entry struct {
@@ -150,22 +156,26 @@ type entry struct {
 }
 
 // NewCache returns an empty cache.
-func NewCache() *Cache { return &Cache{entries: make(map[Key]*entry)} }
+func NewCache() *Cache { return &Cache{} }
 
 // Do returns the cached result for k, computing it with compute on the
 // first request. Every simulation (and its error, if the platform rejects
 // the job) is computed exactly once per key per cache lifetime.
 func (c *Cache) Do(k Key, compute func() mapreduce.Result) mapreduce.Result {
-	c.mu.Lock()
-	e, ok := c.entries[k]
-	if ok {
-		c.hits++
-	} else {
-		e = &entry{}
-		c.entries[k] = e
-		c.misses++
+	v, ok := c.entries.Load(k)
+	if !ok {
+		// First request for this key (or a race with one): LoadOrStore
+		// admits exactly one entry, so exactly one Do per key is a miss.
+		var loaded bool
+		v, loaded = c.entries.LoadOrStore(k, &entry{})
+		ok = loaded
 	}
-	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e := v.(*entry)
 	e.once.Do(func() { e.res = compute() })
 	return e.res
 }
@@ -191,14 +201,12 @@ func (c *Cache) RunIsolatedFaulted(p *mapreduce.Platform, job mapreduce.Job, fau
 // Stats returns the lookup counters; hits+misses equals the total number of
 // Do calls, and misses equals the number of distinct keys ever requested.
 func (c *Cache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Len returns the number of memoized points.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	c.entries.Range(func(any, any) bool { n++; return true })
+	return n
 }
