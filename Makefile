@@ -1,5 +1,6 @@
 # Verification targets. `make check` is the one-command gate: tier-1
-# (build + test) plus vet, the race layer and a bench smoke pass.
+# (build + test) plus vet, the determinism linter, the race layer and a
+# bench smoke pass.
 
 GO ?= go
 # Benchmark iteration budget for bench-json: 1x for a CI smoke record,
@@ -7,7 +8,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCH_JSON = BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: all build test race vet bench-smoke bench-json golden check
+.PHONY: all build test race vet lint bench-smoke bench-json golden check
 
 all: check
 
@@ -24,6 +25,16 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# The determinism linter (see DESIGN.md "Determinism contract" and
+# internal/simlint): vet, module verification (the module is deliberately
+# dependency-free), the simlint analyzers over the whole tree, and a focused
+# race pass over the concurrency-bearing packages.
+lint:
+	$(GO) vet ./...
+	$(GO) mod verify
+	$(GO) run ./cmd/simlint ./...
+	$(GO) test -race ./internal/sweep/... ./internal/simclock/...
 
 # One iteration of every benchmark, including the sweep serial/parallel/
 # memoized comparison and the ablation benches (their embedded assertions
@@ -46,4 +57,4 @@ bench-json:
 golden:
 	$(GO) test ./internal/figures -run TestGolden -update
 
-check: build vet test race bench-smoke
+check: build vet lint test race bench-smoke

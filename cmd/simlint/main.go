@@ -1,0 +1,203 @@
+// Command simlint runs the repo's determinism-and-concurrency analyzers
+// (internal/simlint) over Go packages and exits non-zero on any finding.
+//
+//	go run ./cmd/simlint ./...
+//
+// Patterns are directories relative to the current working directory; a
+// trailing /... walks recursively (testdata, hidden and underscore
+// directories are skipped, as are directories with no non-test Go files).
+// With no arguments it lints ./... — from the repo root, the whole module.
+//
+// Packages listed in simlint.SimPackages are checked under the full
+// determinism contract; every other package still gets the universal checks
+// (locks copied by value). Suppressions use
+//
+//	//simlint:allow <analyzer> <reason>
+//
+// on the offending line or the line above; the reason is mandatory and
+// stale directives are themselves findings.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hybridmr/internal/simlint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simlint: ")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range simlint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	code, err := run(patterns, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(code)
+}
+
+// run lints the packages matched by the patterns, prints findings to out and
+// returns the exit code (0 clean, 1 findings).
+func run(patterns []string, out io.Writer) (int, error) {
+	modRoot, modPath, err := moduleRoot()
+	if err != nil {
+		return 0, err
+	}
+	dirs, err := expand(patterns)
+	if err != nil {
+		return 0, err
+	}
+	loader := simlint.NewLoader()
+	total := 0
+	for _, dir := range dirs {
+		path, err := importPath(modRoot, modPath, dir)
+		if err != nil {
+			return 0, err
+		}
+		pkg, err := loader.Load(dir, path)
+		if err != nil {
+			return 0, err
+		}
+		findings, err := simlint.Run(pkg, simlint.All(), simlint.IsSimPackage(path))
+		if err != nil {
+			return 0, err
+		}
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(out, "simlint: %d finding(s)\n", total)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod and
+// returns its directory and module path.
+func moduleRoot() (dir, module string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		mod := filepath.Join(dir, "go.mod")
+		if _, statErr := os.Stat(mod); statErr == nil {
+			module, err = modulePath(mod)
+			return dir, module, err
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module declaration from a go.mod file.
+func modulePath(file string) (string, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("%s: no module declaration", file)
+}
+
+// importPath maps a package directory to its import path within the module.
+func importPath(modRoot, modPath, dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(modRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, modPath)
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// expand resolves package patterns to package directories. A pattern ending
+// in /... walks its base recursively, keeping directories that contain
+// non-test Go files and skipping testdata, hidden and underscore directories.
+func expand(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "/...")
+		if pat == "..." {
+			base, recursive = ".", true
+		}
+		if base == "" {
+			base = "."
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			names, err := simlint.GoFiles(path)
+			if err != nil {
+				return err
+			}
+			if len(names) > 0 {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}

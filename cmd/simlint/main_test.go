@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTreeIsClean is the acceptance gate: the linter must exit 0 with zero
+// unsuppressed findings over the whole module. Any newly introduced
+// wall-clock read, global rand call, order-sensitive map range, stray
+// goroutine or reasonless/stale directive in a sim package fails this test.
+func TestTreeIsClean(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"../../..."}, &buf)
+	if err != nil {
+		t.Fatalf("simlint: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("simlint found issues:\n%s", buf.String())
+	}
+}
+
+func TestImportPath(t *testing.T) {
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"/mod", "example.com/m"},
+		{"/mod/internal/core", "example.com/m/internal/core"},
+	}
+	for _, c := range cases {
+		got, err := importPath("/mod", "example.com/m", c.dir)
+		if err != nil {
+			t.Fatalf("importPath(%q): %v", c.dir, err)
+		}
+		if got != c.want {
+			t.Errorf("importPath(%q) = %q, want %q", c.dir, got, c.want)
+		}
+	}
+	if _, err := importPath("/mod", "example.com/m", "/elsewhere"); err == nil ||
+		!strings.Contains(err.Error(), "outside module") {
+		t.Errorf("importPath outside module: got err %v", err)
+	}
+}

@@ -160,7 +160,7 @@ func Run(cfg Config) (Counters, error) {
 	}
 
 	// ---- Map phase ----
-	mapStart := time.Now()
+	mapStart := time.Now() //simlint:allow walltime Counters report the real engine's measured wall time, not sim time
 	// partitions[task][r] collects task-local output per reduce partition.
 	partitions := make([][][]kv, ctr.MapTasks)
 	var inputRecords, mapRecords, spills int64
@@ -171,7 +171,7 @@ func Run(cfg Config) (Counters, error) {
 		task := task
 		wg.Add(1)
 		sem <- struct{}{}
-		go func() {
+		go func() { //simlint:allow locksafe real execution: map-slot-bounded worker pool, joined before any result is read
 			defer wg.Done()
 			defer func() { <-sem }()
 			out, nIn, nOut, nSpill, err := runMapTask(cfg, ds, task, part)
@@ -192,10 +192,10 @@ func Run(cfg Config) (Counters, error) {
 	ctr.InputRecords = inputRecords
 	ctr.MapOutputRecords = mapRecords
 	ctr.Spills = spills
-	ctr.MapWall = time.Since(mapStart)
+	ctr.MapWall = time.Since(mapStart) //simlint:allow walltime Counters report the real engine's measured wall time, not sim time
 
 	// ---- Shuffle: regroup per reduce partition ----
-	shuffleStart := time.Now()
+	shuffleStart := time.Now() //simlint:allow walltime Counters report the real engine's measured wall time, not sim time
 	byReducer := make([][]kv, cfg.Reducers)
 	var shuffleBytes int64
 	for _, taskOut := range partitions {
@@ -207,10 +207,10 @@ func Run(cfg Config) (Counters, error) {
 		}
 	}
 	ctr.ShuffleBytes = units.Bytes(shuffleBytes)
-	ctr.ShuffleWall = time.Since(shuffleStart)
+	ctr.ShuffleWall = time.Since(shuffleStart) //simlint:allow walltime Counters report the real engine's measured wall time, not sim time
 
 	// ---- Reduce phase ----
-	reduceStart := time.Now()
+	reduceStart := time.Now() //simlint:allow walltime Counters report the real engine's measured wall time, not sim time
 	results := make([][]kv, cfg.Reducers)
 	var outRecords int64
 	sem = make(chan struct{}, cfg.ReduceSlots)
@@ -218,7 +218,7 @@ func Run(cfg Config) (Counters, error) {
 		r := r
 		wg.Add(1)
 		sem <- struct{}{}
-		go func() {
+		go func() { //simlint:allow locksafe real execution: reduce-slot-bounded worker pool, joined before any result is read
 			defer wg.Done()
 			defer func() { <-sem }()
 			out, err := runReduceTask(cfg, byReducer[r])
@@ -235,7 +235,7 @@ func Run(cfg Config) (Counters, error) {
 		return Counters{}, err
 	}
 	ctr.OutputRecords = outRecords
-	ctr.ReduceWall = time.Since(reduceStart)
+	ctr.ReduceWall = time.Since(reduceStart) //simlint:allow walltime Counters report the real engine's measured wall time, not sim time
 
 	// ---- Output ----
 	var buf bytes.Buffer

@@ -97,11 +97,16 @@ func RunTrace(cal mapreduce.Calibration, cfg workload.Config) (*TraceResult, err
 // ClassCDF builds the execution-time CDF of one architecture's results for
 // one job class.
 func (tr *TraceResult) ClassCDF(exec map[string]float64, upClass bool) *stats.CDF {
+	// Iterate the trace's job order, not the exec map: CDF.Mean folds samples
+	// in insertion order, so a map-ordered fill would leak iteration-order
+	// noise into the unrounded mean (quantiles sort and were never affected).
 	c := stats.NewCDF(nil)
-	for id, e := range exec {
-		if tr.UpClass[id] == upClass {
-			c.Add(e)
+	for _, j := range tr.Jobs {
+		e, ok := exec[j.ID]
+		if !ok || tr.UpClass[j.ID] != upClass {
+			continue
 		}
+		c.Add(e)
 	}
 	return c
 }

@@ -1,0 +1,55 @@
+package figures
+
+import (
+	"testing"
+
+	"hybridmr/internal/core"
+	"hybridmr/internal/faults"
+	"hybridmr/internal/sweep"
+	"hybridmr/internal/workload"
+)
+
+// TestReplayDeterminism is the end-to-end determinism contract (DESIGN.md
+// §8) as a test: replaying the full 6000-job FB-2009 trace twice in the same
+// process — clean Fig10 trace replay and faulted resilience replay — must
+// render byte-identical reports. Each run gets a fresh sweep runner so the
+// memoized cache cannot mask a nondeterministic recomputation, and the two
+// runs use different worker counts so scheduling noise has every chance to
+// surface if any order-sensitive fold slips in.
+func TestReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 6000-job trace replay")
+	}
+	cfg := workload.DefaultConfig()
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+
+	old := sweep.Default()
+	defer sweep.SetDefault(old)
+
+	replay := func(workers int) (clean, faulted string) {
+		t.Helper()
+		sweep.SetDefault(sweep.New(workers))
+		f10, err := Fig10(cal(), cfg)
+		if err != nil {
+			t.Fatalf("Fig10: %v", err)
+		}
+		r, err := RunResilienceJobs(cal(), jobs, faults.Demo(), core.Inject{})
+		if err != nil {
+			t.Fatalf("RunResilienceJobs: %v", err)
+		}
+		return f10.Render(), r.Render()
+	}
+
+	clean1, faulted1 := replay(2)
+	clean2, faulted2 := replay(8)
+
+	if clean1 != clean2 {
+		t.Errorf("clean trace replay diverged between runs:\nrun1:\n%s\nrun2:\n%s", clean1, clean2)
+	}
+	if faulted1 != faulted2 {
+		t.Errorf("faulted trace replay diverged between runs:\nrun1:\n%s\nrun2:\n%s", faulted1, faulted2)
+	}
+}

@@ -1,0 +1,59 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive. The full syntax is
+//
+//	//simlint:allow <analyzer> <reason...>
+//
+// placed on the diagnosed line (trailing comment) or on the line directly
+// above it. The reason is mandatory; a reasonless directive is itself a
+// diagnostic, as is a directive that suppresses nothing — stale suppressions
+// must not outlive the code they excused.
+const allowPrefix = "simlint:allow"
+
+// directive is one parsed //simlint:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	line     int
+	used     bool
+}
+
+// parseDirectives extracts every simlint:allow directive from the files'
+// comments.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var out []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				out = append(out, &directive{
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+					pos:      c.Pos(),
+					line:     fset.Position(c.Pos()).Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// matches reports whether the directive suppresses a diagnostic from the
+// named analyzer on the given line: same line (trailing comment) or the line
+// below the directive (preceding comment).
+func (d *directive) matches(analyzer string, line int) bool {
+	return d.analyzer == analyzer && (d.line == line || d.line == line-1)
+}

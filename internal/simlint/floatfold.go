@@ -1,0 +1,76 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// foldOps are the compound assignments that fold a value into an
+// accumulator. For floats none of them associate, so the fold's result
+// depends on visit order.
+var foldOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+}
+
+// Floatfold rejects order-sensitive floating-point accumulation in sim
+// packages: a float fold inside a range over a map (visit order is
+// randomized) or inside a goroutine body folding into a variable captured
+// from outside (completion order is scheduled). Integer folds commute and
+// are left to maporder's whitelist; float folds differ in the low bits per
+// order, which is exactly the kind of drift that survives %.2f rendering
+// until a calibration hash or a cache key consumes the raw value.
+var Floatfold = &Analyzer{
+	Name: "floatfold",
+	Doc: "flag order-sensitive floating-point accumulation over map " +
+		"iteration or goroutine fan-in in sim packages",
+	Run: runFloatfold,
+}
+
+func runFloatfold(p *Pass) error {
+	if !p.Sim {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if p.isMapRange(n) {
+					p.reportFloatFolds(n.Body, nil,
+						"floating-point accumulation over randomized map order is not associative; fold sorted keys")
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					p.reportFloatFolds(lit.Body, lit,
+						"floating-point accumulation across goroutines folds in schedule order; reduce per-worker results in input order instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportFloatFolds reports float compound assignments inside body. When
+// capturedFrom is non-nil (a goroutine literal), only folds into variables
+// declared outside it are reported — a goroutine-local accumulator is fine.
+func (p *Pass) reportFloatFolds(body *ast.BlockStmt, capturedFrom *ast.FuncLit, msg string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !foldOps[as.Tok] || len(as.Lhs) != 1 || !p.isFloat(as.Lhs[0]) {
+			return true
+		}
+		if capturedFrom != nil {
+			id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.identObj(id)
+			if obj == nil || (obj.Pos() >= capturedFrom.Pos() && obj.Pos() < capturedFrom.End()) {
+				return true // declared inside the goroutine: local fold
+			}
+		}
+		p.Reportf(as.Pos(), "%s", msg)
+		return true
+	})
+}

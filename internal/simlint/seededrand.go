@@ -1,0 +1,61 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand entry points that take (or build) an
+// explicit source and are therefore compatible with seeded determinism.
+// Everything else at package level draws from the shared global source,
+// whose sequence depends on whatever else in the process consumed it — and,
+// since Go 1.20, on a random program-start seed.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 source constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Seededrand rejects globally-sourced randomness in sim packages. The fault
+// generator's Poisson process, the straggler jitter and the failure draws
+// are all reproducible because every stream flows from an explicit seed
+// (stats.NewRNG); one rand.Intn would make faulted replays — and the sweep
+// cache entries keyed by their fingerprints — unrepeatable.
+var Seededrand = &Analyzer{
+	Name: "seededrand",
+	Doc: "flag math/rand global-source functions in sim packages; " +
+		"randomness must flow from an explicit seed (stats.NewRNG)",
+	Run: func(p *Pass) error {
+		if !p.Sim {
+			return nil
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := p.calleeObj(call)
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				path := obj.Pkg().Path()
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Type().(*types.Signature).Recv() != nil {
+					return true // methods on *rand.Rand carry their own source
+				}
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"%s.%s draws from the process-global source; seed an explicit RNG instead (stats.NewRNG)",
+					path, fn.Name())
+				return true
+			})
+		}
+		return nil
+	},
+}

@@ -1,0 +1,71 @@
+package simlint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hybridmr/internal/simlint"
+	"hybridmr/internal/simlint/simlinttest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestWalltime(t *testing.T) {
+	simlinttest.Run(t, fixture("walltime"), simlint.Walltime)
+}
+
+func TestSeededrand(t *testing.T) {
+	simlinttest.Run(t, fixture("seededrand"), simlint.Seededrand)
+}
+
+func TestMaporder(t *testing.T) {
+	simlinttest.Run(t, fixture("maporder"), simlint.Maporder)
+}
+
+func TestFloatfold(t *testing.T) {
+	simlinttest.Run(t, fixture("floatfold"), simlint.Floatfold)
+}
+
+func TestLocksafe(t *testing.T) {
+	simlinttest.Run(t, fixture("locksafe"), simlint.Locksafe)
+}
+
+func TestSelectorder(t *testing.T) {
+	simlinttest.Run(t, fixture("selectorder"), simlint.Selectorder)
+}
+
+// TestSuppression pins the directive contract: a reasoned //simlint:allow
+// suppresses its line, a reasonless one suppresses nothing and is itself
+// diagnosed, and a stale one is reported.
+func TestSuppression(t *testing.T) {
+	simlinttest.Run(t, fixture("suppress"), simlint.Walltime)
+}
+
+// TestIsSimPackage pins the contract boundary: listed packages and their
+// subpackages are in; tooling (simlint itself, cmd) is out.
+func TestIsSimPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"hybridmr/internal/simclock", true},
+		{"hybridmr/internal/mapreduce", true},
+		{"hybridmr/internal/engine", true},
+		{"hybridmr/internal/faults", true},
+		{"hybridmr/internal/sweep", true},
+		{"hybridmr/internal/core", true},
+		{"hybridmr/internal/figures", true},
+		{"hybridmr/internal/figures/sub", true},
+		{"hybridmr/internal/figuresque", false},
+		{"hybridmr/internal/stats", false},
+		{"hybridmr/internal/simlint", false},
+		{"hybridmr/cmd/hybridsim", false},
+	}
+	for _, c := range cases {
+		if got := simlint.IsSimPackage(c.path); got != c.want {
+			t.Errorf("IsSimPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

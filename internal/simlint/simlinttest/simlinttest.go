@@ -1,0 +1,110 @@
+// Package simlinttest runs simlint analyzers over testdata fixtures,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library only (this build vendors no third-party modules). A fixture is a
+// directory of Go files annotated with expectations:
+//
+//	start := time.Now() // want "wall clock"
+//
+// Every `// want "re"` comment asserts at least one diagnostic on its line
+// whose message matches the regexp; multiple quoted regexps assert multiple
+// diagnostics. Diagnostics with no matching want — and wants with no
+// matching diagnostic — fail the test. Suppression directives
+// (//simlint:allow) are honored, so fixtures also pin the directive
+// semantics: a suppressed line carries no want, and a reasonless directive
+// line wants the directive diagnostic itself.
+package simlinttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hybridmr/internal/simlint"
+)
+
+// want is one expectation: a regexp that must match a diagnostic on line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Two annotation forms: `// want "re"` asserts on its own line, and
+// `// want-next "re"` asserts on the line below — for lines whose trailing
+// comment slot is already taken by a //simlint:allow directive under test.
+var wantRE = regexp.MustCompile(`//\s*want(-next)?\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run loads the fixture directory as one package (forced under the
+// determinism contract), runs the analyzers, and matches findings against
+// the fixture's want annotations.
+func Run(t *testing.T, dir string, analyzers ...*simlint.Analyzer) {
+	t.Helper()
+	loader := simlint.NewLoader()
+	base := dir[strings.LastIndex(dir, "/")+1:]
+	pkg, err := loader.Load(dir, base)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	findings, err := simlint.Run(pkg, analyzers, true)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	for i := range findings {
+		f := &findings[i]
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && !w.met && w.re.MatchString(f.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses the `// want` annotations of every fixture file.
+func collectWants(t *testing.T, pkg *simlint.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] == "-next" {
+					line++
+				}
+				for _, q := range quotedRE.FindAllString(m[2], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Fixture for the floatfold analyzer: order-sensitive float accumulation
+// over map ranges or goroutine fan-in is a diagnostic; slice-order and
+// goroutine-local folds are not.
+package floatfold
+
+func sumMap(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "not associative"
+	}
+	return sum
+}
+
+func meanMap(m map[string]float64) float64 {
+	mean := 0.0
+	n := 0
+	for _, v := range m {
+		mean += v // want "not associative"
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return mean / float64(n)
+}
+
+func fanIn(xs []float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	go func() {
+		for _, v := range xs {
+			total += v // want "schedule order"
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// slice order is deterministic: no diagnostic.
+func sumSlice(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// a goroutine-local accumulator handed back over a channel is fine; the
+// fold order inside one goroutine is the slice order.
+func localFold(xs []float64) float64 {
+	ch := make(chan float64)
+	go func() {
+		var local float64
+		for _, v := range xs {
+			local += v
+		}
+		ch <- local
+	}()
+	return <-ch
+}

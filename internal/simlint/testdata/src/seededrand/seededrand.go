@@ -1,0 +1,23 @@
+// Fixture for the seededrand analyzer: global-source math/rand calls are
+// diagnostics, explicitly seeded generators are not.
+package seededrand
+
+import "math/rand"
+
+func jitter() float64 {
+	rand.Seed(42)                        // want "process-global source"
+	n := rand.Intn(10)                   // want "process-global source"
+	return float64(n) + rand.Float64()   // want "process-global source"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "process-global source"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// an explicit source is the sanctioned idiom: no diagnostics.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64() + float64(r.Intn(3))
+}

@@ -1,0 +1,30 @@
+// Fixture for the selectorder analyzer: any select in a sim package is a
+// diagnostic — case choice among ready channels is pseudo-random by spec.
+package selectorder
+
+func race(a, b chan int) int {
+	select { // want "pseudo-randomly"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func poll(ch chan int) (int, bool) {
+	select { // want "pseudo-randomly"
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// plain channel receives impose one order: no diagnostic.
+func drain(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+// Fixture for the walltime analyzer: wall-clock reads are diagnostics,
+// Duration arithmetic and time.Time methods are not.
+package walltime
+
+import "time"
+
+func measure() time.Duration {
+	start := time.Now()          // want "reads the wall clock"
+	time.Sleep(time.Millisecond) // want "reads the wall clock"
+	return time.Since(start)     // want "reads the wall clock"
+}
+
+func wait(ch chan int) int {
+	t := time.NewTimer(time.Second) // want "reads the wall clock"
+	defer t.Stop()
+	select {
+	case v := <-ch:
+		return v
+	case <-t.C:
+		return 0
+	}
+}
+
+// durations only: no diagnostics.
+func scale(d time.Duration) time.Duration {
+	return 3*d + 500*time.Microsecond
+}
+
+// methods on held instants compare, they do not read the clock.
+func ordered(a, b time.Time) bool {
+	return a.After(b) || a.Equal(b)
+}
