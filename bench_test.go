@@ -21,6 +21,7 @@ import (
 	"hybridmr/internal/figures"
 	"hybridmr/internal/mapreduce"
 	"hybridmr/internal/netmodel"
+	"hybridmr/internal/obs"
 	"hybridmr/internal/simclock"
 	"hybridmr/internal/storage/hdfs"
 	"hybridmr/internal/sweep"
@@ -252,6 +253,38 @@ func BenchmarkTraceReplay(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		events += replayJobs(b, p, jobs, mapreduce.Fair)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkTraceReplayObserved is BenchmarkTraceReplay with the full
+// observability layer attached — live span tracer and metrics registry —
+// so BENCH_*.json records what observation costs next to the bare replay
+// (the contract is ≤ a few percent; the nil-observer case must cost
+// nothing, which TestReplayAllocsUnchangedByNilObserver in
+// internal/mapreduce pins exactly).
+func BenchmarkTraceReplayObserved(b *testing.B) {
+	cfg := traceConfig(6000)
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := mapreduce.MustArch(mapreduce.OutOFS, cal())
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := mapreduce.NewSimulator(p)
+		sim.SetPolicy(mapreduce.Fair)
+		sim.SetObserver(obs.NewTracer(), obs.NewRegistry())
+		for _, j := range jobs {
+			sim.Submit(j.MapReduceJob())
+		}
+		res := sim.Run()
+		if len(res) != len(jobs) {
+			b.Fatalf("replayed %d of %d jobs", len(res), len(jobs))
+		}
+		events += sim.Engine().Events()
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }

@@ -7,6 +7,7 @@
 //
 //	crosspoint            # measure and print the threshold table
 //	crosspoint -sweep     # also print the full ratio curves (Figs. 7, 8)
+//	crosspoint -metrics m.json   # also export sweep-cache hit/miss counters
 package main
 
 import (
@@ -18,14 +19,27 @@ import (
 	"hybridmr/internal/core"
 	"hybridmr/internal/figures"
 	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/obs"
 	"hybridmr/internal/sweep"
 )
 
 func main() {
 	curves := flag.Bool("sweep", false, "print the full ratio curves")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "simulation worker count (1 = serial; output is identical either way)")
+	metricsOut := flag.String("metrics", "", "write a metrics snapshot (JSON, sweep-cache counters) to this file")
 	flag.Parse()
 	sweep.SetDefaultWorkers(*parallel)
+
+	// The measurement's only metrics are the memoization counters: mirror
+	// the default cache into a registry for the whole run. The totals are
+	// deterministic regardless of -parallel (one miss per distinct point).
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		cache := sweep.Default().Cache()
+		cache.Observe(reg.Counter("sweep.cache.hits"), reg.Counter("sweep.cache.misses"))
+		defer cache.Observe(nil, nil)
+	}
 
 	cal := mapreduce.DefaultCalibration()
 	up, err := mapreduce.NewArch(mapreduce.UpOFS, cal)
@@ -62,6 +76,20 @@ func main() {
 		float64(cp.RatioLow), float64(cp.RatioHigh), cp.MidRatio, paper.MidRatio)
 	fmt.Printf("  shuffle/input < %.1f:        input < %v  (paper: %v)\n",
 		float64(cp.RatioLow), cp.LowRatio, paper.LowRatio)
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteSnapshot(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

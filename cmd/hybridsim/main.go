@@ -7,7 +7,7 @@
 //
 // Trace experiment (§V) from a trace file or a fresh synthetic trace:
 //
-//	hybridsim -trace trace.csv
+//	hybridsim -input trace.csv
 //	hybridsim -jobs 6000                          # generate and run
 //
 // The trace mode runs the workload on the hybrid architecture and on the
@@ -20,11 +20,21 @@
 //	hybridsim -jobs 600 -faults demo
 //	hybridsim -jobs 600 -faults 'up:crash@30m;up:recover@4h'
 //	hybridsim -jobs 600 -faults 'mtbf:seed=1,mttr=30m,out=6h' -failures 0.05
+//
+// Observability: -trace, -chrometrace, -metrics and -audit attach the
+// deterministic observability sinks to the hybrid replay and export them on
+// exit. All stamps are simulated time, so the files are byte-identical
+// across runs of the same command:
+//
+//	hybridsim -jobs 600 -faults demo -trace spans.jsonl -metrics m.json
+//	hybridsim -jobs 600 -faults demo -chrometrace chrome.json  # chrome://tracing
+//	hybridsim -jobs 600 -faults demo -audit decisions.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -36,6 +46,7 @@ import (
 	"hybridmr/internal/faults"
 	"hybridmr/internal/figures"
 	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/obs"
 	"hybridmr/internal/stats"
 	"hybridmr/internal/sweep"
 	"hybridmr/internal/units"
@@ -47,7 +58,7 @@ func main() {
 		app        = flag.String("app", "", "application: wordcount, grep, sort, dfsio-write, dfsio-read")
 		size       = flag.String("size", "", "input size, e.g. 32GB")
 		arch       = flag.String("arch", "all", "architecture: up-OFS, up-HDFS, out-OFS, out-HDFS, or all")
-		trace      = flag.String("trace", "", "trace file (CSV or JSON) to run the §V experiment on")
+		input      = flag.String("input", "", "trace file (CSV or JSON) to run the §V experiment on")
 		jobs       = flag.Int("jobs", 0, "generate a synthetic trace with this many jobs and run the §V experiment")
 		seed       = flag.Int64("seed", 2009, "seed for generated traces")
 		balance    = flag.Bool("balance", false, "enable the §VII load-balancing extension")
@@ -58,6 +69,10 @@ func main() {
 		speculate  = flag.Bool("speculate", false, "enable speculative execution for injected stragglers")
 		injectSeed = flag.Int64("inject-seed", 1, "seed for failure/straggler injection")
 		parallel   = flag.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		traceOut   = flag.String("trace", "", "write the hybrid replay's span trace (JSONL) to this file")
+		chromeOut  = flag.String("chrometrace", "", "write the span trace as a Chrome trace_event JSON to this file")
+		metricsOut = flag.String("metrics", "", "write the metrics registry snapshot (JSON) to this file")
+		auditOut   = flag.String("audit", "", "write the scheduler decision audit (JSONL) to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -90,14 +105,15 @@ func main() {
 		}()
 	}
 	inj := core.Inject{FailureRate: *failures, StragglerFrac: *stragglers, Speculate: *speculate, Seed: *injectSeed}
+	sinks := obsSinks{trace: *traceOut, chrome: *chromeOut, metrics: *metricsOut, audit: *auditOut}
 
 	switch {
-	case *trace != "" || *jobs > 0:
+	case *input != "" || *jobs > 0:
 		if *faultSpec != "" || inj.FailureRate != 0 || inj.StragglerFrac != 0 {
-			runResilience(*trace, *jobs, *seed, *faultSpec, inj)
+			runResilience(*input, *jobs, *seed, *faultSpec, inj, sinks)
 			return
 		}
-		runTrace(*trace, *jobs, *seed, *balance, *hist)
+		runTrace(*input, *jobs, *seed, *balance, *hist, sinks)
 	case *app != "" && *size != "":
 		runSingle(*app, *size, *arch)
 	default:
@@ -106,10 +122,56 @@ func main() {
 	}
 }
 
+// obsSinks is the observability export configuration: one output path per
+// sink, empty meaning off.
+type obsSinks struct {
+	trace, chrome, metrics, audit string
+}
+
+// set builds the obs.Set matching the requested exports. The span tracer
+// serves both the JSONL and the Chrome export.
+func (s obsSinks) set() obs.Set {
+	var o obs.Set
+	if s.trace != "" || s.chrome != "" {
+		o.Trace = obs.NewTracer()
+	}
+	if s.metrics != "" {
+		o.Metrics = obs.NewRegistry()
+	}
+	if s.audit != "" {
+		o.Audit = obs.NewAudit()
+	}
+	return o
+}
+
+// write exports every requested sink to its file.
+func (s obsSinks) write(o obs.Set) {
+	export := func(path string, emit func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	export(s.trace, o.Trace.WriteJSONL)
+	export(s.chrome, o.Trace.WriteChrome)
+	export(s.metrics, o.Metrics.WriteSnapshot)
+	export(s.audit, o.Audit.WriteJSONL)
+}
+
 // runResilience replays the trace under a fault schedule and injection,
 // comparing the failure-aware hybrid against static Algorithm 1 and the
 // baselines.
-func runResilience(path string, jobs int, seed int64, spec string, inj core.Inject) {
+func runResilience(path string, jobs int, seed int64, spec string, inj core.Inject, sinks obsSinks) {
 	var sched *faults.Schedule
 	if spec != "" {
 		var err error
@@ -121,12 +183,14 @@ func runResilience(path string, jobs int, seed int64, spec string, inj core.Inje
 	trace := loadTrace(path, jobs, seed)
 	fmt.Print(workload.Summarize(trace))
 	fmt.Println()
-	r, err := figures.RunResilienceJobs(mapreduce.DefaultCalibration(), trace, sched, inj)
+	o := sinks.set()
+	r, err := figures.RunResilienceObserved(mapreduce.DefaultCalibration(), trace, sched, inj, o, nil)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(r.Render())
 	fmt.Print(r.Footer())
+	sinks.write(o)
 }
 
 func runSingle(appName, sizeStr, archName string) {
@@ -206,7 +270,7 @@ func loadTrace(path string, jobs int, seed int64) []workload.Job {
 	return trace
 }
 
-func runTrace(path string, jobs int, seed int64, balance, hist bool) {
+func runTrace(path string, jobs int, seed int64, balance, hist bool, sinks obsSinks) {
 	trace := loadTrace(path, jobs, seed)
 	cal := mapreduce.DefaultCalibration()
 	hybrid, err := core.NewHybrid(cal)
@@ -229,9 +293,22 @@ func runTrace(path string, jobs int, seed int64, balance, hist bool) {
 		isUp[j.ID] = true
 	}
 
+	// With observability requested the hybrid runs through the clean
+	// RunFaulted path — identical results to Run (pinned by test), plus the
+	// sinks. Without it, Run keeps the allocation-free fast path.
+	o := sinks.set()
 	collectHy := func() map[string]float64 {
+		var results []core.JobResult
+		if o.Enabled() {
+			var err error
+			if results, err = hybrid.RunFaulted(trace, core.FaultRun{Obs: o}); err != nil {
+				fatal(err)
+			}
+		} else {
+			results = hybrid.Run(trace)
+		}
 		m := make(map[string]float64, len(trace))
-		for _, r := range hybrid.Run(trace) {
+		for _, r := range results {
 			if r.Err != nil {
 				fatal(fmt.Errorf("hybrid job %s: %w", r.Job.ID, r.Err))
 			}
@@ -292,6 +369,7 @@ func runTrace(path string, jobs int, seed int64, balance, hist bool) {
 			fmt.Printf("\n== %s execution-time histogram (seconds)\n%s", r.name, h.Render(50))
 		}
 	}
+	sinks.write(o)
 }
 
 func fatal(err error) {

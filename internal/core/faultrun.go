@@ -7,6 +7,7 @@ import (
 
 	"hybridmr/internal/faults"
 	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/obs"
 	"hybridmr/internal/simclock"
 	"hybridmr/internal/sweep"
 	"hybridmr/internal/workload"
@@ -75,6 +76,11 @@ type FaultRun struct {
 	// Stats, when non-nil, receives the replay's kernel statistics after the
 	// run completes (the resilience report's events/sec footer reads them).
 	Stats *ReplayStats
+	// Obs attaches observability: the tracer and metrics registry are
+	// forwarded to both halves' simulators, and the audit log receives one
+	// record per routing decision (including retries). The zero Set observes
+	// nothing and keeps the replay's hot path allocation-free.
+	Obs obs.Set
 }
 
 func (opt *FaultRun) defaults() (int, time.Duration, *sweep.Runner) {
@@ -109,6 +115,8 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 	outSim := mapreduce.NewSimulatorOn(eng, h.Out)
 	upSim.SetPolicy(h.Policy)
 	outSim.SetPolicy(h.Policy)
+	upSim.SetObserver(opt.Obs.Trace, opt.Obs.Metrics)
+	outSim.SetObserver(opt.Obs.Trace, opt.Obs.Metrics)
 	if err := opt.Inject.Apply(upSim); err != nil {
 		return nil, err
 	}
@@ -143,8 +151,11 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 		target := h.Sched.Decide(job)
 		dest := target
 		rerouted := false
+		var probe healthProbe
 		if opt.FailureAware {
-			if d := h.rerouteForHealth(job, target, upSim, outSim, runner, fp); d != target {
+			d, pr := h.rerouteForHealth(job, target, upSim, outSim, runner, fp)
+			probe = pr
+			if d != target {
 				dest, rerouted = d, true
 			}
 		}
@@ -152,6 +163,32 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 			dest = h.Balance.Divert(dest, upSim, outSim)
 		}
 		st.target, st.dest, st.rerouted = target, dest, rerouted
+		if opt.Obs.Audit.Enabled() {
+			cross := h.Sched.CrossPoints()
+			opt.Obs.Audit.Record(obs.Decision{
+				At:              eng.Now(),
+				Job:             job.ID,
+				App:             job.App.Name,
+				Size:            job.SchedulingSize(),
+				Ratio:           float64(job.App.ShuffleInputRatio),
+				RatioKnown:      job.RatioKnown,
+				Threshold:       cross.Threshold(job.App.ShuffleInputRatio, job.RatioKnown),
+				Static:          target.String(),
+				Dest:            dest.String(),
+				Attempt:         st.attempts,
+				Rerouted:        rerouted,
+				Diverted:        dest != target,
+				Probed:          probe.probed,
+				PrefETA:         probe.prefETA,
+				AltETA:          probe.altETA,
+				PrefOK:          probe.prefOK,
+				AltOK:           probe.altOK,
+				UpMachinesDown:  upSim.MachinesDown(),
+				OutMachinesDown: outSim.MachinesDown(),
+				UpStorageDown:   upSim.StorageDown(),
+				OutStorageDown:  outSim.StorageDown(),
+			})
+		}
 		if dest == ScaleUp {
 			upSim.SubmitNow(job.MapReduceJob())
 		} else {
@@ -207,32 +244,44 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 	return results, nil
 }
 
+// healthProbe reports what the failure-aware reroute looked at, for the
+// decision audit log: whether ETA probes ran at all, and each half's
+// estimate with its validity flag.
+type healthProbe struct {
+	probed          bool
+	prefETA, altETA time.Duration
+	prefOK, altOK   bool
+}
+
 // rerouteForHealth is the failure-aware extension of Algorithm 1: when the
 // preferred half is degraded (machines or storage down), both halves'
 // completion times are estimated — the isolated run on the half's currently
 // degraded platform view, stretched by its queue backlog — and the job moves
 // only when the other half strictly wins. A healthy preferred half is never
 // second-guessed, so under an empty schedule the routing is exactly
-// Algorithm 1's.
-func (h *Hybrid) rerouteForHealth(job workload.Job, preferred Target, upSim, outSim *mapreduce.Simulator, runner *sweep.Runner, faultsFP uint64) Target {
+// Algorithm 1's. The returned probe carries the ETA evidence for the audit
+// log (zero when the health gate short-circuited).
+func (h *Hybrid) rerouteForHealth(job workload.Job, preferred Target, upSim, outSim *mapreduce.Simulator, runner *sweep.Runner, faultsFP uint64) (Target, healthProbe) {
 	prefSim, altSim, alt := upSim, outSim, ScaleOut
 	if preferred == ScaleOut {
 		prefSim, altSim, alt = outSim, upSim, ScaleUp
 	}
 	if prefSim.MachinesDown() == 0 && prefSim.StorageDown() == 0 {
-		return preferred
+		return preferred, healthProbe{}
 	}
-	prefETA, prefOK := etaOn(prefSim, job, runner, faultsFP)
-	altETA, altOK := etaOn(altSim, job, runner, faultsFP)
+	var probe healthProbe
+	probe.probed = true
+	probe.prefETA, probe.prefOK = etaOn(prefSim, job, runner, faultsFP)
+	probe.altETA, probe.altOK = etaOn(altSim, job, runner, faultsFP)
 	switch {
-	case !prefOK && altOK:
+	case !probe.prefOK && probe.altOK:
 		// The degraded half cannot even plan the job (capacity); the
 		// other half can.
-		return alt
-	case prefOK && altOK && altETA < prefETA:
-		return alt
+		return alt, probe
+	case probe.prefOK && probe.altOK && probe.altETA < probe.prefETA:
+		return alt, probe
 	}
-	return preferred
+	return preferred, probe
 }
 
 // etaOn estimates a job's completion time on one half right now: the

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hybridmr/internal/faults"
+	"hybridmr/internal/obs"
+	"hybridmr/internal/sweep"
+	"hybridmr/internal/workload"
+)
+
+// obsScenario is one randomized replay configuration for the observation-
+// transparency property. quick generates the fields; Generate clamps them to
+// a valid, fast scenario.
+type obsScenario struct {
+	Jobs         int
+	Seed         int64
+	Faulted      bool
+	FailureAware bool
+	Injected     bool
+}
+
+// Generate implements quick.Generator: 5–25 jobs over a proportionally
+// shrunk arrival window, an arbitrary trace seed, and independent coin flips
+// for the fault schedule, the failure-aware scheduler, and task-level chaos.
+func (obsScenario) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(obsScenario{
+		Jobs:         5 + r.Intn(21),
+		Seed:         r.Int63(),
+		Faulted:      r.Intn(2) == 1,
+		FailureAware: r.Intn(2) == 1,
+		Injected:     r.Intn(2) == 1,
+	})
+}
+
+func (sc obsScenario) run(t *testing.T, h *Hybrid, o obs.Set) []JobResult {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Jobs = sc.Jobs
+	cfg.Seed = sc.Seed
+	cfg.Duration = time.Duration(float64(24*time.Hour) * float64(sc.Jobs) / 6000)
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := FaultRun{FailureAware: sc.FailureAware, Runner: sweep.New(1), Obs: o}
+	if sc.Faulted {
+		sched, err := faults.NewSchedule([]faults.Event{
+			{At: 2 * time.Minute, Kind: faults.MachineCrash, Cluster: faults.ClusterUp, Count: 1},
+			{At: 3 * time.Minute, Kind: faults.OFSServerDown, Cluster: faults.ClusterAll, Count: 2},
+			{At: 40 * time.Minute, Kind: faults.OFSServerUp, Cluster: faults.ClusterAll, Count: 2},
+			{At: time.Hour, Kind: faults.MachineRecover, Cluster: faults.ClusterUp, Count: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Schedule = sched
+	}
+	if sc.Injected {
+		opt.Inject = Inject{FailureRate: 0.05, StragglerFrac: 0.3, Speculate: true, Seed: sc.Seed}
+	}
+	res, err := h.RunFaulted(jobs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestObservationIsTransparent is the property wall for the observability
+// layer: attaching every sink — tracer, metrics registry, decision audit —
+// to RunFaulted must leave the simulation results identical to the bare run,
+// across random workloads, fault schedules, scheduler modes, and chaos
+// injection. Observation may record; it may never perturb.
+func TestObservationIsTransparent(t *testing.T) {
+	h := newHybridT(t)
+	prop := func(sc obsScenario) bool {
+		bare := sc.run(t, h, obs.Set{})
+		o := obs.Set{Trace: obs.NewTracer(), Metrics: obs.NewRegistry(), Audit: obs.NewAudit()}
+		observed := sc.run(t, h, o)
+		if !reflect.DeepEqual(bare, observed) {
+			t.Logf("scenario %+v: results diverged under observation", sc)
+			return false
+		}
+		if o.Trace.Len() == 0 || o.Audit.Len() != auditRecords(observed) {
+			t.Logf("scenario %+v: trace %d spans, audit %d records (want %d)",
+				sc, o.Trace.Len(), o.Audit.Len(), auditRecords(observed))
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// auditRecords is the decision count the audit must hold: one per
+// submission, i.e. each job's Attempts total.
+func auditRecords(rs []JobResult) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Attempts
+	}
+	return n
+}

@@ -8,6 +8,7 @@ import (
 	"hybridmr/internal/core"
 	"hybridmr/internal/faults"
 	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/obs"
 	"hybridmr/internal/stats"
 	"hybridmr/internal/sweep"
 	"hybridmr/internal/textplot"
@@ -80,9 +81,30 @@ func RunResilience(cal mapreduce.Calibration, cfg workload.Config, sched *faults
 // on the process-wide sweep runner's pool; the report is byte-identical
 // regardless of worker count.
 func RunResilienceJobs(cal mapreduce.Calibration, jobs []workload.Job, sched *faults.Schedule, inj core.Inject) (*Resilience, error) {
+	return RunResilienceObserved(cal, jobs, sched, inj, obs.Set{}, nil)
+}
+
+// RunResilienceObserved is RunResilienceJobs with observability: the sinks in
+// o attach to the headline failure-aware hybrid replay (the architecture the
+// experiment argues for), and the runner's cache hit/miss counters mirror
+// into the registry for the duration of the run. A nil runner uses the
+// process-wide default; an empty Set observes nothing. Callers wanting
+// deterministic cache counters must pass a fresh runner — the default
+// runner's cache is shared process-wide, so its hit/miss split depends on
+// what ran before.
+func RunResilienceObserved(cal mapreduce.Calibration, jobs []workload.Job, sched *faults.Schedule, inj core.Inject, o obs.Set, runner *sweep.Runner) (*Resilience, error) {
 	hybrid, err := core.NewHybrid(cal)
 	if err != nil {
 		return nil, err
+	}
+	if runner == nil {
+		runner = sweep.Default()
+	}
+	if o.Metrics != nil {
+		// Register before the replays so the counters lead the snapshot;
+		// detach when the pool is idle again.
+		runner.Cache().Observe(o.Metrics.Counter("sweep.cache.hits"), o.Metrics.Counter("sweep.cache.misses"))
+		defer runner.Cache().Observe(nil, nil)
 	}
 
 	fromHybrid := func(rs []core.JobResult) []jobOutcome {
@@ -136,7 +158,7 @@ func RunResilienceJobs(cal mapreduce.Calibration, jobs []workload.Job, sched *fa
 		into *ArchResilience
 		run  func() ([]jobOutcome, uint64, error)
 	}{
-		{"Hybrid-FA", nil, hybridRun(core.FaultRun{Schedule: sched, Inject: inj, FailureAware: true})},
+		{"Hybrid-FA", nil, hybridRun(core.FaultRun{Schedule: sched, Inject: inj, FailureAware: true, Runner: runner, Obs: o})},
 		{"Hybrid-static", nil, hybridRun(core.FaultRun{Schedule: sched, Inject: inj})},
 		{"THadoop", nil, baseline(mapreduce.NewTHadoop)},
 		{"RHadoop", nil, baseline(mapreduce.NewRHadoop)},
@@ -153,7 +175,7 @@ func RunResilienceJobs(cal mapreduce.Calibration, jobs []workload.Job, sched *fa
 		err     error
 	}
 	start := time.Now() //simlint:allow walltime Wall is a real throughput footer, excluded from Render and the goldens
-	outs := sweep.Map(sweep.Default().Workers(), len(replays), func(i int) outcome {
+	outs := sweep.Map(runner.Workers(), len(replays), func(i int) outcome {
 		rs, events, err := replays[i].run()
 		return outcome{results: rs, events: events, err: err}
 	})

@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"hybridmr/internal/faults"
@@ -185,8 +186,16 @@ func (s *Simulator) applyFault(ev faults.Event, now time.Duration) {
 		// in flight keeps its planned duration (see file comment).
 		if ev.Kind.IsRecovery() {
 			s.storageDown -= ev.Count
+			if s.obsv.trace.Enabled() {
+				s.traceFault("storage-up", now,
+					strconv.Itoa(ev.Count)+" back, "+strconv.Itoa(s.storageDown)+" still down")
+			}
 		} else {
 			s.storageDown += ev.Count
+			if s.obsv.trace.Enabled() {
+				s.traceFault("storage-down", now,
+					strconv.Itoa(ev.Count)+" lost, "+strconv.Itoa(s.storageDown)+" down")
+			}
 		}
 	}
 }
@@ -206,16 +215,22 @@ func (s *Simulator) crashMachines(k int, now time.Duration) {
 	avail := spec.Machines - s.machinesDown
 	mps, rps := spec.MapSlotsPerMachine(), spec.ReduceSlotsPerMachine()
 
-	killedMaps := s.killAttempts(true, ceilDiv((s.capMap-s.freeMap)*k, avail))
-	killedReds := s.killAttempts(false, ceilDiv((s.capRed-s.freeRed)*k, avail))
+	killedMaps := s.killAttempts(true, ceilDiv((s.capMap-s.freeMap)*k, avail), now)
+	killedReds := s.killAttempts(false, ceilDiv((s.capRed-s.freeRed)*k, avail), now)
 	// The crashed machines' free slots vanish too. killed ≤ ceil(busy·k/avail)
 	// guarantees the remainder never exceeds the free pool.
 	s.capMap -= k * mps
 	s.capRed -= k * rps
 	s.freeMap -= k*mps - killedMaps
 	s.freeRed -= k*rps - killedReds
-	s.loseCompletedMaps(k, avail)
+	lostMaps := s.loseCompletedMaps(k, avail)
 	s.machinesDown += k
+	if s.obsv.trace.Enabled() {
+		s.traceFault("machines-crash", now,
+			strconv.Itoa(k)+" crashed ("+strconv.Itoa(s.machinesDown)+" down), killed "+
+				strconv.Itoa(killedMaps)+" maps + "+strconv.Itoa(killedReds)+" reduces, lost "+
+				strconv.Itoa(lostMaps)+" map outputs")
+	}
 	s.dispatch(now)
 }
 
@@ -224,7 +239,7 @@ func (s *Simulator) crashMachines(k int, now time.Duration) {
 // is by attempt start order (attempt.seq): the same selection the
 // pre-indexed implementation made by walking the chronologically ordered
 // in-flight slice from the back, so faulted replays are byte-identical.
-func (s *Simulator) killAttempts(isMap bool, n int) int {
+func (s *Simulator) killAttempts(isMap bool, n int, now time.Duration) int {
 	if n <= 0 {
 		return 0
 	}
@@ -250,6 +265,7 @@ func (s *Simulator) killAttempts(isMap bool, n int) int {
 				run.pendingMapIDs = append(run.pendingMapIDs, att.taskID)
 				s.queuedMaps++
 				run.retries++
+				s.traceRetry(run, att.taskID, true, now, "killed")
 			}
 			s.touch(kMap, run)
 		} else {
@@ -257,6 +273,7 @@ func (s *Simulator) killAttempts(isMap bool, n int) int {
 			if !run.failed {
 				run.pendingRedIDs = append(run.pendingRedIDs, att.taskID)
 				run.retries++
+				s.traceRetry(run, att.taskID, false, now, "killed")
 			}
 			s.touch(kRed, run)
 		}
@@ -265,8 +282,10 @@ func (s *Simulator) killAttempts(isMap bool, n int) int {
 }
 
 // loseCompletedMaps re-queues the prorated share of each map-phase job's
-// completed maps: their outputs lived on the crashed machines' local disks.
-func (s *Simulator) loseCompletedMaps(k, avail int) {
+// completed maps — their outputs lived on the crashed machines' local disks —
+// and returns how many were lost in total.
+func (s *Simulator) loseCompletedMaps(k, avail int) int {
+	total := 0
 	for _, run := range s.active {
 		if run.failed || run.mapsDone == 0 || run.mapsDone == run.pl.mapTasks {
 			continue // nothing done yet, or already past the map phase
@@ -283,8 +302,11 @@ func (s *Simulator) loseCompletedMaps(k, avail int) {
 		s.queuedMaps += lost
 		run.mapsDone -= lost
 		run.retries += lost
+		total += lost
+		s.obsv.taskRetries.Add(int64(lost))
 		s.touch(kMap, run)
 	}
+	return total
 }
 
 // recoverMachines brings k machines back; their slots rejoin the pools empty.
@@ -292,6 +314,10 @@ func (s *Simulator) recoverMachines(k int, now time.Duration) {
 	s.accrue(now)
 	spec := s.platform.Spec
 	s.machinesDown -= k
+	if s.obsv.trace.Enabled() {
+		s.traceFault("machines-recover", now,
+			strconv.Itoa(k)+" back, "+strconv.Itoa(s.machinesDown)+" still down")
+	}
 	s.capMap += k * spec.MapSlotsPerMachine()
 	s.capRed += k * spec.ReduceSlotsPerMachine()
 	s.freeMap += k * spec.MapSlotsPerMachine()

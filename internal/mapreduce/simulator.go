@@ -103,6 +103,10 @@ type Simulator struct {
 	// onResult, when set, receives finished results instead of the
 	// internal list (SetResultHook).
 	onResult func(Result, time.Duration)
+
+	// obsv holds the observability sinks (observe.go); the zero value is
+	// inert and keeps the hot path allocation-free.
+	obsv simObs
 }
 
 // NewSimulator creates an empty FIFO simulator for the platform with its
@@ -519,6 +523,7 @@ func (s *Simulator) startJob(job Job, now time.Duration) {
 		pl, err = p.planJob(job)
 	}
 	if err != nil {
+		s.traceJobRejected(job, now, err)
 		s.finish(Result{Job: job, Platform: s.platform.Name, Submit: job.Submit, Err: err}, now)
 		return
 	}
@@ -529,6 +534,7 @@ func (s *Simulator) startJob(job Job, now time.Duration) {
 	s.eng.After(pl.overhead, func(now time.Duration) {
 		s.setupMaps -= pl.mapTasks
 		run.start = now
+		s.obsv.trace.Span(s.obsv.track, run.job.ID, "setup", run.submit, now)
 		run.pendingMapIDs = taskIDs(0, pl.mapTasks)
 		s.queuedMaps += pl.mapTasks
 		run.activeIdx = len(s.active)
@@ -540,6 +546,7 @@ func (s *Simulator) startJob(job Job, now time.Duration) {
 
 // dispatch hands out free slots until none remain or nothing is runnable.
 func (s *Simulator) dispatch(now time.Duration) {
+	s.noteSlots() // queue depth peaks before slots are granted
 	for s.freeMap > 0 {
 		run := s.ready[kMap].pick()
 		if run == nil {
@@ -554,6 +561,7 @@ func (s *Simulator) dispatch(now time.Duration) {
 		}
 		s.startReduceTask(run, now)
 	}
+	s.noteSlots() // busy slots peak after the grants
 }
 
 func (s *Simulator) startMapTask(run *jobRun, now time.Duration) {
@@ -563,6 +571,7 @@ func (s *Simulator) startMapTask(run *jobRun, now time.Duration) {
 	run.pendingMapIDs = run.pendingMapIDs[:len(run.pendingMapIDs)-1]
 	s.queuedMaps--
 	run.runningMaps++
+	s.obsv.mapsStarted.Inc()
 	s.touch(kMap, run)
 	if !run.startedMap {
 		run.startedMap = true
@@ -585,6 +594,7 @@ func (s *Simulator) mapTaskDone(run *jobRun, taskID int, now time.Duration) {
 			run.pendingMapIDs = append(run.pendingMapIDs, taskID)
 			s.queuedMaps++
 			run.retries++
+			s.traceRetry(run, taskID, true, now, "failed")
 			s.touch(kMap, run)
 			s.dispatch(now)
 			return
@@ -604,9 +614,11 @@ func (s *Simulator) mapTaskDone(run *jobRun, taskID int, now time.Duration) {
 	if run.mapsDone == run.pl.mapTasks {
 		run.lastMapDone = now
 		run.shuffling = true
+		s.obsv.trace.Span(s.obsv.track, run.job.ID, "map", run.firstMapAt, now)
 		s.eng.After(run.pl.shuffle, func(now time.Duration) {
 			run.shuffling = false
 			run.shuffleDone = now
+			s.obsv.trace.Span(s.obsv.track, run.job.ID, "shuffle", run.lastMapDone, now)
 			// Reduce task ids follow the map ids.
 			run.pendingRedIDs = taskIDs(run.pl.mapTasks, run.pl.reducers)
 			s.touch(kRed, run)
@@ -622,6 +634,7 @@ func (s *Simulator) startReduceTask(run *jobRun, now time.Duration) {
 	taskID := run.pendingRedIDs[len(run.pendingRedIDs)-1]
 	run.pendingRedIDs = run.pendingRedIDs[:len(run.pendingRedIDs)-1]
 	run.runningReds++
+	s.obsv.redsStarted.Inc()
 	s.touch(kRed, run)
 	att := s.addAttempt(run, taskID, false)
 	s.eng.After(s.jitterDuration(run.pl.redTask), att.fireFn)
@@ -637,6 +650,7 @@ func (s *Simulator) redTaskDone(run *jobRun, taskID int, now time.Duration) {
 		if s.recordFailure(run, taskID) {
 			run.pendingRedIDs = append(run.pendingRedIDs, taskID)
 			run.retries++
+			s.traceRetry(run, taskID, false, now, "failed")
 			s.touch(kRed, run)
 			s.dispatch(now)
 			return
@@ -687,6 +701,7 @@ func (s *Simulator) failJob(run *jobRun, now time.Duration, phase string) {
 	s.queuedMaps -= len(run.pendingMapIDs)
 	run.pendingMapIDs = nil
 	run.pendingRedIDs = nil
+	s.traceJobFailed(run, now, phase)
 	s.touch(kMap, run)
 	s.touch(kRed, run)
 	s.removeActive(run)
@@ -702,6 +717,7 @@ func (s *Simulator) failJob(run *jobRun, now time.Duration, phase string) {
 }
 
 func (s *Simulator) completeJob(run *jobRun, end time.Duration) {
+	s.traceJobDone(run, end)
 	s.touch(kMap, run)
 	s.touch(kRed, run)
 	s.removeActive(run)

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The simulator calls these on its hot path with observability off (nil
+// sinks). The zero-alloc event kernel budget (PR 3) only survives if every
+// nil-receiver method is a true no-op: no allocation, no escape.
+
+func TestNilSinkAllocs(t *testing.T) {
+	var tr *Tracer
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var a *Audit
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Tracer.Span", func() { tr.Span("up", "job", "map", 0, time.Second) }},
+		{"Tracer.SpanDetail", func() { tr.SpanDetail("up", "job", "map", 0, time.Second, "d") }},
+		{"Tracer.Instant", func() { tr.Instant("up", "job", "retry", 0, "") }},
+		{"Tracer.Enabled", func() { _ = tr.Enabled() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Gauge.Set", func() { g.Set(7) }},
+		{"Gauge.Add", func() { g.Add(-1) }},
+		{"Histogram.Observe", func() { h.Observe(1.5) }},
+		{"Audit.Record", func() { a.Record(Decision{Job: "j", App: "a"}) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(1000, tc.fn); n != 0 {
+			t.Errorf("%s on nil receiver: %v allocs/op, want 0", tc.name, n)
+		}
+	}
+}
+
+// Live instruments must also stay allocation-free per update once
+// registered — the registry hands them out before the replay starts, so the
+// hot path only ever touches atomics (or, for histograms, a mutex).
+func TestLiveInstrumentAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", 1, 10, 100)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(3) }); n != 0 {
+		t.Errorf("Gauge.Set: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12) }); n != 0 {
+		t.Errorf("Histogram.Observe: %v allocs/op, want 0", n)
+	}
+}
+
+// A live tracer amortizes to ≤1 alloc per span (append growth); the steady
+// state after warm-up reuses capacity. This is not on the nil fast path, but
+// keeps tracing cheap enough for full-day traces.
+func TestTracerSteadyStateAllocs(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 1<<16; i++ {
+		tr.Span("up", "job", "map", 0, time.Second)
+	}
+	tr.spans = tr.spans[:0]
+	n := testing.AllocsPerRun(1000, func() {
+		if len(tr.spans) == cap(tr.spans) {
+			tr.spans = tr.spans[:0] // stay within warmed capacity
+		}
+		tr.Span("up", "job", "map", 0, time.Second)
+	})
+	if n != 0 {
+		t.Errorf("warm tracer Span: %v allocs/op, want 0", n)
+	}
+}

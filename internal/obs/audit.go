@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"io"
+	"time"
+
+	"hybridmr/internal/units"
+)
+
+// Decision is one scheduler routing record: everything Algorithm 1 and the
+// failure-aware reroute looked at, and what they chose. All times are
+// simulated.
+type Decision struct {
+	// At is the submission (or resubmission) instant.
+	At time.Duration
+	// Job and App identify the routed job.
+	Job, App string
+	// Size is the scheduling size (nominal, pre-shrink) the thresholds
+	// compare against; Ratio and RatioKnown are the shuffle/input factor
+	// inputs to the cross-point selection.
+	Size       units.Bytes
+	Ratio      float64
+	RatioKnown bool
+	// Threshold is the cross point the size was compared to.
+	Threshold units.Bytes
+	// Static is Algorithm 1's choice from size and ratio alone; Dest is
+	// where the job actually went after health gating and load diversion.
+	Static, Dest string
+	// Attempt numbers the submission (1 = first, >1 = retry after a fault
+	// kill).
+	Attempt int
+	// Rerouted reports that health gating overrode the static choice;
+	// Diverted that the load balancer moved the job off its target.
+	Rerouted, Diverted bool
+	// Probed reports that the health gate ran ETA probes; PrefETA/AltETA
+	// are the estimates for the statically preferred cluster and the
+	// alternative, valid when the matching OK flag is set.
+	Probed        bool
+	PrefETA       time.Duration
+	AltETA        time.Duration
+	PrefOK, AltOK bool
+	// Cluster health at decision time: machines and storage servers down on
+	// the scale-up and scale-out halves.
+	UpMachinesDown, OutMachinesDown int
+	UpStorageDown, OutStorageDown   int
+}
+
+// Audit accumulates scheduler decisions in emission order. Like the tracer
+// it is single-threaded per replay, and a nil *Audit absorbs records.
+type Audit struct {
+	decisions []Decision
+}
+
+// NewAudit returns an empty audit log.
+func NewAudit() *Audit { return &Audit{} }
+
+// Enabled reports whether decisions are being recorded.
+func (a *Audit) Enabled() bool { return a != nil }
+
+// Record appends one decision.
+func (a *Audit) Record(d Decision) {
+	if a == nil {
+		return
+	}
+	a.decisions = append(a.decisions, d)
+}
+
+// Decisions returns the recorded decisions in emission order; the slice is
+// the audit's backing store.
+func (a *Audit) Decisions() []Decision {
+	if a == nil {
+		return nil
+	}
+	return a.decisions
+}
+
+// Len returns the number of recorded decisions.
+func (a *Audit) Len() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.decisions)
+}
+
+// WriteJSONL writes one JSON object per decision, in emission order. Fixed
+// fields come first; "margin_bytes" (threshold − size: positive means the
+// size cleared the scale-up side by that much) is always present, while the
+// probe fields ("pref_eta_ns", "alt_eta_ns", "margin_ns" = alternative −
+// chosen, positive meaning the chosen cluster won by that much) appear only
+// on probed decisions. A nil audit writes nothing.
+func (a *Audit) WriteJSONL(w io.Writer) error {
+	if a == nil {
+		return nil
+	}
+	var b []byte
+	for i := range a.decisions {
+		d := &a.decisions[i]
+		b = b[:0]
+		b = append(b, '{')
+		b = appendField(b, "at_ns")
+		b = appendInt(b, int64(d.At))
+		b = appendField(b, "job")
+		b = appendJSONString(b, d.Job)
+		b = appendField(b, "app")
+		b = appendJSONString(b, d.App)
+		b = appendField(b, "attempt")
+		b = appendInt(b, int64(d.Attempt))
+		b = appendField(b, "size_bytes")
+		b = appendInt(b, int64(d.Size))
+		b = appendField(b, "ratio")
+		b = appendFloat(b, d.Ratio)
+		b = appendField(b, "ratio_known")
+		b = appendBool(b, d.RatioKnown)
+		b = appendField(b, "threshold_bytes")
+		b = appendInt(b, int64(d.Threshold))
+		b = appendField(b, "margin_bytes")
+		b = appendInt(b, int64(d.Threshold-d.Size))
+		b = appendField(b, "static")
+		b = appendJSONString(b, d.Static)
+		b = appendField(b, "dest")
+		b = appendJSONString(b, d.Dest)
+		b = appendField(b, "rerouted")
+		b = appendBool(b, d.Rerouted)
+		b = appendField(b, "diverted")
+		b = appendBool(b, d.Diverted)
+		b = appendField(b, "up_machines_down")
+		b = appendInt(b, int64(d.UpMachinesDown))
+		b = appendField(b, "out_machines_down")
+		b = appendInt(b, int64(d.OutMachinesDown))
+		b = appendField(b, "up_storage_down")
+		b = appendInt(b, int64(d.UpStorageDown))
+		b = appendField(b, "out_storage_down")
+		b = appendInt(b, int64(d.OutStorageDown))
+		if d.Probed {
+			b = appendField(b, "probed")
+			b = appendBool(b, true)
+			if d.PrefOK {
+				b = appendField(b, "pref_eta_ns")
+				b = appendInt(b, int64(d.PrefETA))
+			}
+			if d.AltOK {
+				b = appendField(b, "alt_eta_ns")
+				b = appendInt(b, int64(d.AltETA))
+			}
+			if d.PrefOK && d.AltOK {
+				// Margin of the chosen cluster over the other: when the
+				// reroute kept the preferred cluster the alternative's ETA
+				// is the one it beat, and vice versa.
+				margin := d.AltETA - d.PrefETA
+				if d.Rerouted {
+					margin = d.PrefETA - d.AltETA
+				}
+				b = appendField(b, "margin_ns")
+				b = appendInt(b, int64(margin))
+			}
+		}
+		b = append(b, '}', '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

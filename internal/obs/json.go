@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+)
+
+// The exporters hand-roll their JSON: field order is fixed in the source,
+// numbers go through strconv with explicit formats, and strings through one
+// escape routine — so the same records always serialize to the same bytes.
+// encoding/json would work today, but its output is an implementation detail
+// the golden files must not depend on.
+
+// appendJSONString appends s as a JSON string literal. Control characters
+// and the two mandatory escapes are handled; everything else (including
+// non-ASCII UTF-8, which json permits raw) passes through byte-for-byte.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			b = append(b, '\\', '"')
+		case c == '\\':
+			b = append(b, '\\', '\\')
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+// appendField appends `,"name":` (or `"name":` when b ends in an opener),
+// the separator bookkeeping every exporter would otherwise repeat.
+func appendField(b []byte, name string) []byte {
+	if n := len(b); n > 0 && b[n-1] != '{' && b[n-1] != '[' {
+		b = append(b, ',')
+	}
+	b = appendJSONString(b, name)
+	return append(b, ':')
+}
+
+// appendInt appends v as a JSON number.
+func appendInt(b []byte, v int64) []byte {
+	return strconv.AppendInt(b, v, 10)
+}
+
+// appendFloat appends v in the shortest round-trip decimal form. JSON has no
+// Inf/NaN literals; they encode as strings so the document stays parseable.
+func appendFloat(b []byte, v float64) []byte {
+	if math.IsInf(v, 1) {
+		return append(b, `"+Inf"`...)
+	}
+	if math.IsInf(v, -1) {
+		return append(b, `"-Inf"`...)
+	}
+	if math.IsNaN(v) {
+		return append(b, `"NaN"`...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendMicros appends a nanosecond count as microseconds with fixed
+// 3-decimal precision — the trace_event timestamp unit.
+func appendMicros(b []byte, ns int64) []byte {
+	return strconv.AppendFloat(b, float64(ns)/1e3, 'f', 3, 64)
+}
+
+// appendBool appends a JSON boolean.
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}

@@ -1,0 +1,32 @@
+// Package obs is the simulator's deterministic observability layer: a span
+// tracer for job lifecycles, a metrics registry of counters/gauges/
+// histograms, and a scheduler decision audit log.
+//
+// Everything here is stamped with simulated time only (time.Duration offsets
+// from the replay's start) — the package never reads the wall clock, so an
+// export is a pure function of the replay's inputs and two runs of the same
+// trace produce byte-identical files. That is the property the golden tests
+// pin and the serial-vs-parallel guard defends.
+//
+// All record methods are nil-safe no-ops: a nil *Tracer, nil *Counter, nil
+// *Gauge, nil *Histogram and nil *Audit absorb calls without allocating, so
+// the simulator keeps its zero-alloc event kernel when observability is off.
+// Callers that build detail strings must gate them behind Enabled() — the
+// formatting, not the recording, is what would otherwise allocate.
+package obs
+
+// Set bundles the three optional sinks a replay can be observed with. The
+// zero value (all nil) observes nothing at zero cost.
+type Set struct {
+	// Trace receives lifecycle spans and fault instants.
+	Trace *Tracer
+	// Metrics receives counter/gauge/histogram updates.
+	Metrics *Registry
+	// Audit receives one record per scheduler routing decision.
+	Audit *Audit
+}
+
+// Enabled reports whether any sink is attached.
+func (s Set) Enabled() bool {
+	return s.Trace != nil || s.Metrics != nil || s.Audit != nil
+}

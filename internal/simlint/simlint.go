@@ -127,6 +127,7 @@ var SimPackages = []string{
 	"hybridmr/internal/sweep",
 	"hybridmr/internal/core",
 	"hybridmr/internal/figures",
+	"hybridmr/internal/obs",
 }
 
 // IsSimPackage reports whether the import path is under the determinism

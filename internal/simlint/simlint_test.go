@@ -36,6 +36,13 @@ func TestSelectorder(t *testing.T) {
 	simlinttest.Run(t, fixture("selectorder"), simlint.Selectorder)
 }
 
+// TestObsExport pins the exporter shape internal/obs must keep now that it
+// is under the determinism contract: wall-clock stamps and unsorted registry
+// ranges are diagnostics; sim-time stamps and the sorted-keys idiom pass.
+func TestObsExport(t *testing.T) {
+	simlinttest.Run(t, fixture("obsexport"), simlint.Walltime, simlint.Maporder)
+}
+
 // TestSuppression pins the directive contract: a reasoned //simlint:allow
 // suppresses its line, a reasonless one suppresses nothing and is itself
 // diagnosed, and a stale one is reported.
@@ -58,6 +65,8 @@ func TestIsSimPackage(t *testing.T) {
 		{"hybridmr/internal/core", true},
 		{"hybridmr/internal/figures", true},
 		{"hybridmr/internal/figures/sub", true},
+		{"hybridmr/internal/obs", true},
+		{"hybridmr/internal/obsolete", false},
 		{"hybridmr/internal/figuresque", false},
 		{"hybridmr/internal/stats", false},
 		{"hybridmr/internal/simlint", false},

@@ -1,0 +1,68 @@
+// Fixture modeling an observability exporter, the shape internal/obs must
+// keep clean now that it is under the determinism contract: export loops
+// over registries (maps) must use the sorted-keys idiom or a registration-
+// order slice, and records must be stamped with simulated time, never the
+// wall clock.
+package obsexport
+
+import (
+	"sort"
+	"time"
+)
+
+type span struct {
+	name string
+	at   time.Duration
+}
+
+// wallStamp is the classic exporter mistake: stamping a record with the
+// wall clock makes every export unique.
+func wallStamp(name string) span {
+	return span{name: name, at: time.Duration(time.Now().UnixNano())} // want "reads the wall clock"
+}
+
+// flushEvery is the second: wall-clock pacing inside the recorder.
+func flushEvery(spans chan span) {
+	for range time.Tick(time.Second) { // want "reads the wall clock"
+		<-spans
+	}
+}
+
+// exportUnsorted writes metric lines straight out of the map — the file's
+// line order would change run to run.
+func exportUnsorted(metrics map[string]int64) []string {
+	var lines []string
+	for name, v := range metrics { // want "map iteration order is randomized"
+		lines = append(lines, name+"="+string(rune(v)))
+	}
+	return lines
+}
+
+// simStamp is the clean counterpart: the caller passes simulated time.
+func simStamp(name string, now time.Duration) span {
+	return span{name: name, at: now}
+}
+
+// exportSorted is the clean counterpart: collect the keys, sort, then emit.
+func exportSorted(metrics map[string]int64) []string {
+	keys := make([]string, 0, len(metrics))
+	for k := range metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, 0, len(keys))
+	for _, k := range keys {
+		lines = append(lines, k+"="+string(rune(metrics[k])))
+	}
+	return lines
+}
+
+// tally is a commutative fold over the registry — integer counters commute,
+// so the range needs no ordering.
+func tally(metrics map[string]int64) int64 {
+	var n int64
+	for _, v := range metrics {
+		n += v
+	}
+	return n
+}

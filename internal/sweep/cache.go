@@ -8,6 +8,7 @@ import (
 	"hybridmr/internal/apps"
 	"hybridmr/internal/cluster"
 	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/obs"
 	"hybridmr/internal/units"
 )
 
@@ -148,6 +149,11 @@ type Cache struct {
 	entries sync.Map // Key -> *entry
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+
+	// obsHits/obsMisses mirror the counters into an observability registry
+	// when attached (Observe); nil absorbs the updates.
+	obsHits   *obs.Counter
+	obsMisses *obs.Counter
 }
 
 type entry struct {
@@ -172,8 +178,10 @@ func (c *Cache) Do(k Key, compute func() mapreduce.Result) mapreduce.Result {
 	}
 	if ok {
 		c.hits.Add(1)
+		c.obsHits.Inc()
 	} else {
 		c.misses.Add(1)
+		c.obsMisses.Inc()
 	}
 	e := v.(*entry)
 	e.once.Do(func() { e.res = compute() })
@@ -196,6 +204,16 @@ func (c *Cache) RunIsolatedFaulted(p *mapreduce.Platform, job mapreduce.Job, fau
 	r := c.Do(KeyForFaulted(p, job, faultsFP), func() mapreduce.Result { return p.RunIsolated(job) })
 	r.Job = job
 	return r
+}
+
+// Observe mirrors every subsequent hit and miss into the given counters
+// (either may be nil). The totals are deterministic even under the parallel
+// pool: LoadOrStore admits exactly one miss per distinct key, so the split
+// depends only on the requested key multiset, never on interleaving. Attach
+// before submitting work and detach (with nils) only when the pool is idle —
+// the fields are read without synchronization on the lookup path.
+func (c *Cache) Observe(hits, misses *obs.Counter) {
+	c.obsHits, c.obsMisses = hits, misses
 }
 
 // Stats returns the lookup counters; hits+misses equals the total number of

@@ -1,0 +1,75 @@
+package units
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBytes drives the size parser with arbitrary input. The invariants
+// it defends (beyond "never panic"):
+//
+//   - a successful parse is never negative — sizes are magnitudes, and a
+//     negative Bytes would flow into task counts and wave math as garbage;
+//   - a successful parse is never the int64-overflow artifact of the
+//     float→int conversion (math.MinInt64 from a huge "9999999999TB");
+//   - the parsed value re-renders and re-parses without error, so every
+//     accepted size survives a config round trip.
+func FuzzParseBytes(f *testing.F) {
+	for _, seed := range []string{
+		"128MB", "0.5 GB", "30gb", "1024", "1KiB", "2TiB", "7B", " 10 kb ",
+		"1PB", "",
+		"-3GB",            // negative size: must be rejected
+		"9999999999999TB", // overflows int64 bytes: must be rejected
+		"+2MB", "1.2.3MB", "--4KB", "NaNGB", "1e9", "0", "0.0KB", ".5MB",
+		"92233720368547758079999B", // > 2^63 from the digits alone
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got, err := ParseBytes(s)
+		if err != nil {
+			return
+		}
+		if got < 0 {
+			t.Fatalf("ParseBytes(%q) = %d: negative size accepted", s, got)
+		}
+		rendered := got.String()
+		back, err := ParseBytes(rendered)
+		if err != nil {
+			t.Fatalf("ParseBytes(%q) = %v, but re-parsing its rendering %q failed: %v",
+				s, got, rendered, err)
+		}
+		if back < 0 {
+			t.Fatalf("round trip of %q went negative: %v -> %q -> %v", s, got, rendered, back)
+		}
+		// The rendering rounds to one decimal of the chosen unit, so the
+		// round trip may drift — but never by more than half that unit.
+		diff := got - back
+		if diff < 0 {
+			diff = -diff
+		}
+		if unit := renderUnit(rendered); diff > unit/10 {
+			t.Fatalf("round trip of %q drifted %v (> a tenth of %v): %v -> %q -> %v",
+				s, diff, unit, got, rendered, back)
+		}
+	})
+}
+
+// renderUnit recovers the unit a String() rendering used, for the round-trip
+// drift bound.
+func renderUnit(s string) Bytes {
+	switch {
+	case strings.HasSuffix(s, "PB"):
+		return PB
+	case strings.HasSuffix(s, "TB"):
+		return TB
+	case strings.HasSuffix(s, "GB"):
+		return GB
+	case strings.HasSuffix(s, "MB"):
+		return MB
+	case strings.HasSuffix(s, "KB"):
+		return KB
+	default:
+		return B
+	}
+}

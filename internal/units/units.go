@@ -148,11 +148,24 @@ func ParseBytes(s string) (Bytes, error) {
 	if err != nil {
 		return 0, fmt.Errorf("units: bad number in %q: %v", s, err)
 	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative size %q", s)
+	}
 	mult, err := unitMultiplier(unitPart)
 	if err != nil {
 		return 0, fmt.Errorf("units: %v in %q", err, s)
 	}
-	return Bytes(math.Round(v * float64(mult))), nil
+	// Guard the float→int64 conversion (a product ≥ 2^63 would make it
+	// implementation-defined rather than saturate) with 2^46 of headroom,
+	// so every accepted size also survives a String round trip: the
+	// rendering rounds to one decimal of the largest unit, and without the
+	// headroom a size within 0.05 PB of 2^63 renders as "8192.0PB", which
+	// no longer parses.
+	b := math.Round(v * float64(mult))
+	if b >= 1<<63-1<<46 {
+		return 0, fmt.Errorf("units: size %q overflows", s)
+	}
+	return Bytes(b), nil
 }
 
 func unitMultiplier(u string) (Bytes, error) {

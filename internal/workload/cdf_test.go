@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+
+	"hybridmr/internal/units"
+)
+
+// TestFB2009InputSizeCDF pins the generator to the paper's Fig. 3 anchor
+// points: 40 % of jobs below 1 MB, 49 % between 1 MB and 30 GB, 11 % above
+// 30 GB. Buckets are counted on the nominal (pre-shrink) size — the
+// distribution the trace records and the scheduler routes on — across three
+// seeds, so a band-boundary or sampling regression cannot hide behind one
+// lucky draw. The tolerance is the sampling noise of 6000 Bernoulli draws
+// (≈ 3σ ≈ 1.9 points on the 40 % bucket), not a loose margin.
+func TestFB2009InputSizeCDF(t *testing.T) {
+	buckets := []struct {
+		name     string
+		lo, hi   units.Bytes // [lo, hi); hi 0 means unbounded
+		fraction float64
+	}{
+		{"below 1 MB", 0, 1 * units.MB, 0.40},
+		{"1 MB to 30 GB", 1 * units.MB, 30 * units.GB, 0.49},
+		{"above 30 GB", 30 * units.GB, 0, 0.11},
+	}
+	const tolerance = 0.02
+
+	for _, seed := range []int64{2009, 7, 424242} {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		jobs, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(jobs) != cfg.Jobs {
+			t.Fatalf("seed %d: generated %d jobs, want %d", seed, len(jobs), cfg.Jobs)
+		}
+		counts := make([]int, len(buckets))
+		for _, j := range jobs {
+			size := j.SchedulingSize()
+			if size <= 0 {
+				t.Fatalf("seed %d: job %s has non-positive nominal size %v", seed, j.ID, size)
+			}
+			for i, b := range buckets {
+				if size >= b.lo && (b.hi == 0 || size < b.hi) {
+					counts[i]++
+					break
+				}
+			}
+		}
+		total := 0
+		for i, b := range buckets {
+			total += counts[i]
+			got := float64(counts[i]) / float64(len(jobs))
+			if diff := got - b.fraction; diff < -tolerance || diff > tolerance {
+				t.Errorf("seed %d: %.1f%% of jobs %s, want %.0f%% ±%.0f",
+					seed, 100*got, buckets[i].name, 100*b.fraction, 100*tolerance)
+			}
+		}
+		if total != len(jobs) {
+			t.Errorf("seed %d: buckets cover %d of %d jobs", seed, total, len(jobs))
+		}
+	}
+}
