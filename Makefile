@@ -8,7 +8,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCH_JSON = BENCH_$(shell date +%Y-%m-%d).json
 
-.PHONY: all build test race vet lint bench-smoke bench-json golden check
+.PHONY: all build test race vet lint resilience bench-smoke bench-json golden check
 
 all: check
 
@@ -36,6 +36,13 @@ lint:
 	$(GO) run ./cmd/simlint ./...
 	$(GO) test -race ./internal/sweep/... ./internal/simclock/...
 
+# The resilience layer under the race detector: the gray-failure and
+# crash-replay goldens (byte-identical serial vs parallel), the watchdog
+# partial-results contract, and the gray/blacklist/speculation suites in
+# core and mapreduce.
+resilience:
+	$(GO) test -race -count=1 -run 'TestGolden|TestResilience|TestRunResilience|TestGray|TestBlacklist|TestWatchdog|TestClone|TestSpecul' ./internal/figures/ ./internal/core/ ./internal/mapreduce/
+
 # One iteration of every benchmark, including the sweep serial/parallel/
 # memoized comparison and the ablation benches (their embedded assertions
 # run even at -benchtime=1x).
@@ -57,4 +64,4 @@ bench-json:
 golden:
 	$(GO) test ./internal/figures -run TestGolden -update
 
-check: build vet lint test race bench-smoke
+check: build vet lint test race resilience bench-smoke

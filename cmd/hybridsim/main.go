@@ -21,6 +21,15 @@
 //	hybridsim -jobs 600 -faults 'up:crash@30m;up:recover@4h'
 //	hybridsim -jobs 600 -faults 'mtbf:seed=1,mttr=30m,out=6h' -failures 0.05
 //
+// Gray failures and graceful degradation: -degrade merges a slowdown
+// schedule (cpu/disk factors, NIC throttles, rack partitions) into the fault
+// timeline, -blacklist adds the blacklist+cloning hybrid replay, and
+// -watchdog bounds each replay's simulation kernel:
+//
+//	hybridsim -jobs 600 -degrade demo
+//	hybridsim -jobs 600 -faults demo -degrade 'up:cpu-slow@1hx1*2.0;up:cpu-ok@6h'
+//	hybridsim -jobs 600 -degrade demo -failures 0.05 -blacklist -watchdog events=5e7,simtime=240h
+//
 // Observability: -trace, -chrometrace, -metrics and -audit attach the
 // deterministic observability sinks to the hybrid replay and export them on
 // exit. All stamps are simulated time, so the files are byte-identical
@@ -64,6 +73,9 @@ func main() {
 		balance    = flag.Bool("balance", false, "enable the §VII load-balancing extension")
 		hist       = flag.Bool("hist", false, "print execution-time histograms in trace mode")
 		faultSpec  = flag.String("faults", "", "fault schedule: 'demo', 'mtbf:seed=S,...' or 'cluster:kind@time[xN];...' — runs the resilience experiment in trace mode")
+		degrade    = flag.String("degrade", "", "gray-failure schedule: 'demo' (the gray reference scenario) or the -faults syntax with slowdown kinds (cpu-slow, nic-slow, ...) — merged with -faults")
+		blacklist  = flag.Bool("blacklist", false, "add the Hybrid-FA-BL resilience replay: flaky-half blacklisting plus speculative straggler cloning")
+		watchdog   = flag.String("watchdog", "", "per-replay simulation budget 'events=N,simtime=D'; an over-budget replay renders as a failed row instead of running away")
 		failures   = flag.Float64("failures", 0, "per-task-attempt failure probability in [0,1)")
 		stragglers = flag.Float64("stragglers", 0, "straggler duration-jitter fraction in [0,10]")
 		speculate  = flag.Bool("speculate", false, "enable speculative execution for injected stragglers")
@@ -106,11 +118,16 @@ func main() {
 	}
 	inj := core.Inject{FailureRate: *failures, StragglerFrac: *stragglers, Speculate: *speculate, Seed: *injectSeed}
 	sinks := obsSinks{trace: *traceOut, chrome: *chromeOut, metrics: *metricsOut, audit: *auditOut}
+	budget, err := sweep.ParseBudget(*watchdog)
+	if err != nil {
+		fatal(err)
+	}
+	opts := figures.ResilienceOpts{FABlacklist: *blacklist, Watchdog: budget}
 
 	switch {
 	case *input != "" || *jobs > 0:
-		if *faultSpec != "" || inj.FailureRate != 0 || inj.StragglerFrac != 0 {
-			runResilience(*input, *jobs, *seed, *faultSpec, inj, sinks)
+		if *faultSpec != "" || *degrade != "" || inj.FailureRate != 0 || inj.StragglerFrac != 0 {
+			runResilience(*input, *jobs, *seed, *faultSpec, *degrade, inj, sinks, opts)
 			return
 		}
 		runTrace(*input, *jobs, *seed, *balance, *hist, sinks)
@@ -170,27 +187,55 @@ func (s obsSinks) write(o obs.Set) {
 
 // runResilience replays the trace under a fault schedule and injection,
 // comparing the failure-aware hybrid against static Algorithm 1 and the
-// baselines.
-func runResilience(path string, jobs int, seed int64, spec string, inj core.Inject, sinks obsSinks) {
-	var sched *faults.Schedule
-	if spec != "" {
-		var err error
-		sched, err = faults.ParseSchedule(spec)
-		if err != nil {
-			fatal(err)
-		}
+// baselines. A -degrade gray schedule is merged into the -faults one.
+func runResilience(path string, jobs int, seed int64, spec, graySpec string, inj core.Inject, sinks obsSinks, opts figures.ResilienceOpts) {
+	sched, err := buildSchedule(spec, graySpec)
+	if err != nil {
+		fatal(err)
 	}
-	trace := loadTrace(path, jobs, seed)
+	trace, err := loadTrace(path, jobs, seed)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Print(workload.Summarize(trace))
 	fmt.Println()
 	o := sinks.set()
-	r, err := figures.RunResilienceObserved(mapreduce.DefaultCalibration(), trace, sched, inj, o, nil)
+	r, err := figures.RunResilienceOpts(mapreduce.DefaultCalibration(), trace, sched, inj, o, nil, opts)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(r.Render())
 	fmt.Print(r.Footer())
 	sinks.write(o)
+}
+
+// buildSchedule parses the -faults and -degrade specs and merges them into
+// one timeline. For -degrade, "demo" means the gray reference scenario.
+func buildSchedule(spec, graySpec string) (*faults.Schedule, error) {
+	var sched *faults.Schedule
+	if spec != "" {
+		var err error
+		sched, err = faults.ParseSchedule(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-faults: %w", err)
+		}
+	}
+	if graySpec == "" {
+		return sched, nil
+	}
+	gray := faults.GrayDemo()
+	if graySpec != "demo" {
+		var err error
+		gray, err = faults.ParseSchedule(graySpec)
+		if err != nil {
+			return nil, fmt.Errorf("-degrade: %w", err)
+		}
+	}
+	merged, err := faults.Merge(sched, gray)
+	if err != nil {
+		return nil, fmt.Errorf("-faults/-degrade: %w", err)
+	}
+	return merged, nil
 }
 
 func runSingle(appName, sizeStr, archName string) {
@@ -240,38 +285,41 @@ func runSingle(appName, sizeStr, archName string) {
 }
 
 // loadTrace reads the trace file when given, otherwise generates a synthetic
-// trace preserving the full 6000-job day's arrival rate.
-func loadTrace(path string, jobs int, seed int64) []workload.Job {
-	var (
-		trace []workload.Job
-		err   error
-	)
-	if path != "" {
-		f, err2 := os.Open(path)
-		if err2 != nil {
-			fatal(err2)
-		}
-		defer f.Close()
-		if strings.HasSuffix(path, ".json") {
-			trace, err = workload.ReadJSON(f)
-		} else {
-			trace, err = workload.ReadCSV(f)
-		}
-	} else {
+// trace preserving the full 6000-job day's arrival rate. File errors come
+// back wrapped with the path, so main can exit with a one-line diagnostic.
+func loadTrace(path string, jobs int, seed int64) ([]workload.Job, error) {
+	if path == "" {
 		cfg := workload.DefaultConfig()
 		cfg.Jobs = jobs
 		cfg.Seed = seed
 		cfg.Duration = time.Duration(float64(cfg.Duration) * float64(jobs) / 6000)
-		trace, err = workload.Generate(cfg)
+		return workload.Generate(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("-input: %w", err)
+	}
+	defer f.Close()
+	var trace []workload.Job
+	if strings.HasSuffix(path, ".json") {
+		trace, err = workload.ReadJSON(f)
+	} else {
+		trace, err = workload.ReadCSV(f)
 	}
 	if err != nil {
-		fatal(err)
+		return nil, fmt.Errorf("-input %s: %w", path, err)
 	}
-	return trace
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("-input %s: trace holds no jobs", path)
+	}
+	return trace, nil
 }
 
 func runTrace(path string, jobs int, seed int64, balance, hist bool, sinks obsSinks) {
-	trace := loadTrace(path, jobs, seed)
+	trace, err := loadTrace(path, jobs, seed)
+	if err != nil {
+		fatal(err)
+	}
 	cal := mapreduce.DefaultCalibration()
 	hybrid, err := core.NewHybrid(cal)
 	if err != nil {

@@ -106,6 +106,19 @@ type Spec struct {
 	// slots (the remainder are reduce slots). Hadoop 1.x uses a static
 	// split; 0.75 matches common production settings.
 	MapSlotFraction float64
+	// Bisection scales the cluster's aggregate network bandwidth below the
+	// sum of its links: 0 (the zero value) and 1 both mean full bisection;
+	// a gray rack partition divides it. Per-link quantities are unaffected.
+	Bisection float64
+}
+
+// bisection returns the effective bisection factor, treating the zero value
+// as full bisection so pre-gray specs behave exactly as before.
+func (s Spec) bisection() float64 {
+	if s.Bisection == 0 {
+		return 1
+	}
+	return s.Bisection
 }
 
 // Validate reports configuration errors.
@@ -121,10 +134,41 @@ func (s Spec) Validate() error {
 	case s.MapSlotFraction <= 0 || s.MapSlotFraction >= 1:
 		return fmt.Errorf("cluster: %s: map slot fraction %v outside (0,1)", s.Name, s.MapSlotFraction)
 	}
+	if s.Bisection < 0 || s.Bisection > 1 {
+		return fmt.Errorf("cluster: %s: bisection %v outside [0,1]", s.Name, s.Bisection)
+	}
 	if s.MapSlotsPerMachine() < 1 || s.ReduceSlotsPerMachine() < 1 {
 		return fmt.Errorf("cluster: %s: slot split leaves an empty pool", s.Name)
 	}
 	return nil
+}
+
+// Throttle returns the spec seen through a gray network failure: every
+// machine's NIC bandwidth divided by nicFactor and the cluster's bisection
+// bandwidth divided by rackFactor (both ≥ 1; 1 is the identity). The
+// transforms route through netmodel.Fabric so the network semantics live in
+// one place.
+func (s Spec) Throttle(nicFactor, rackFactor float64) (Spec, error) {
+	if nicFactor == 1 && rackFactor == 1 {
+		return s, nil
+	}
+	for _, f := range []float64{nicFactor, rackFactor} {
+		if f < 1 {
+			return Spec{}, fmt.Errorf("cluster: %s: throttle factor %v below 1", s.Name, f)
+		}
+	}
+	fab := netmodel.Fabric{
+		Name:            s.Name,
+		PerNodeBW:       s.Machine.NICBW,
+		BisectionFactor: s.bisection(),
+	}
+	fab = fab.Throttled(nicFactor).Partitioned(rackFactor)
+	s.Machine.NICBW = fab.PerNodeBW
+	s.Bisection = fab.BisectionFactor
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
 }
 
 // WithMachines returns a copy of the spec resized to n machines, validating
@@ -173,9 +217,10 @@ func (s Spec) TotalDiskCapacity() units.Bytes {
 	return units.Bytes(s.Machines) * s.Machine.DiskCapacity
 }
 
-// AggregateNIC returns the summed network bandwidth of all machines.
+// AggregateNIC returns the network bandwidth available when every machine
+// transmits at once: the summed links discounted by the bisection factor.
 func (s Spec) AggregateNIC() units.BytesPerSec {
-	return s.Machine.NICBW * units.BytesPerSec(s.Machines)
+	return units.BytesPerSec(float64(s.Machine.NICBW) * float64(s.Machines) * s.bisection())
 }
 
 // AggregateShuffleBW returns the summed shuffle-store bandwidth.

@@ -197,3 +197,53 @@ func TestSlotSplitBounds(t *testing.T) {
 		t.Errorf("2-core spec invalid: %v", err)
 	}
 }
+
+func TestThrottle(t *testing.T) {
+	s := ScaleOut12()
+	th, err := s.Throttle(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := th.Machine.NICBW, s.Machine.NICBW/2; got != want {
+		t.Errorf("throttled NIC = %v, want %v", got, want)
+	}
+	if th.Bisection != 0.25 {
+		t.Errorf("bisection = %v, want 0.25", th.Bisection)
+	}
+	// Aggregate pays both: links halved and bisection quartered.
+	if got, want := th.AggregateNIC(), s.AggregateNIC()/8; got != want {
+		t.Errorf("throttled aggregate = %v, want %v", got, want)
+	}
+	// Slots, capacity and price are untouched — the machines still run.
+	if th.MapSlots() != s.MapSlots() || th.TotalPrice() != s.TotalPrice() {
+		t.Error("network throttle changed compute accounting")
+	}
+	// The identity returns the spec unchanged, zero-value Bisection intact.
+	id, err := s.Throttle(1, 1)
+	if err != nil || id != s {
+		t.Errorf("unit throttle changed the spec: %v", err)
+	}
+	if _, err := s.Throttle(0.5, 1); err == nil {
+		t.Error("sub-1 throttle factor accepted")
+	}
+}
+
+func TestBisectionZeroValueIsFull(t *testing.T) {
+	s := ScaleOut12()
+	if s.Bisection != 0 {
+		t.Fatal("preset carries an explicit bisection")
+	}
+	full := s
+	full.Bisection = 1
+	if s.AggregateNIC() != full.AggregateNIC() {
+		t.Error("zero-value bisection differs from explicit full bisection")
+	}
+	if err := full.Validate(); err != nil {
+		t.Errorf("explicit full bisection invalid: %v", err)
+	}
+	bad := s
+	bad.Bisection = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("bisection above 1 accepted")
+	}
+}

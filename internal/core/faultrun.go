@@ -70,6 +70,28 @@ type FaultRun struct {
 	RetryBackoff time.Duration
 	// Inject adds task-level chaos on both halves.
 	Inject Inject
+	// Blacklist enables per-half flaky-cluster benching: a half whose jobs
+	// keep failing accumulates strikes, and at BlacklistStrikes it is
+	// benched for BlacklistParole of simulated time — doubling per bench,
+	// capped at 8× — during which new jobs route to the other half (unless
+	// both are benched). Strikes reset when the bench is served.
+	Blacklist bool
+	// BlacklistStrikes is the job failures that bench a half; ≤ 0 means 3.
+	BlacklistStrikes int
+	// BlacklistParole is the first bench duration; ≤ 0 means 10m.
+	BlacklistParole time.Duration
+	// CloneStragglers enables speculative clone attempts on both halves: when
+	// a gray slowdown window pushes a cluster past CloneThreshold, its
+	// in-flight attempts get healthy-speed backups and the first finisher
+	// wins.
+	CloneStragglers bool
+	// CloneThreshold is the gray slowdown that triggers cloning; ≤ 0 means
+	// 1.5.
+	CloneThreshold float64
+	// Watchdog bounds the replay's kernel: exceeding the budget panics with
+	// a *simclock.BudgetError, which sweep.Protect converts into a typed
+	// per-point error at the experiment layer. The zero budget is unlimited.
+	Watchdog sweep.Budget
 	// Runner memoizes the ETA probes of the failure-aware scheduler; nil
 	// uses the process-wide default.
 	Runner *sweep.Runner
@@ -99,6 +121,47 @@ func (opt *FaultRun) defaults() (int, time.Duration, *sweep.Runner) {
 	return maxAttempts, backoff, runner
 }
 
+// blacklistDefaults resolves the benching knobs.
+func (opt *FaultRun) blacklistDefaults() (int, time.Duration) {
+	strikes := opt.BlacklistStrikes
+	if strikes <= 0 {
+		strikes = 3
+	}
+	parole := opt.BlacklistParole
+	if parole <= 0 {
+		parole = 10 * time.Minute
+	}
+	return strikes, parole
+}
+
+// benchState is one half's blacklist account: consecutive job-failure
+// strikes, the exponential bench level already served, and the sim-time
+// instant the current bench ends.
+type benchState struct {
+	strikes int
+	level   int
+	until   time.Duration
+}
+
+// bench serves a bench: parole doubled per prior bench, capped at 8×.
+func (b *benchState) bench(now, parole time.Duration) {
+	shift := b.level
+	if shift > 3 {
+		shift = 3
+	}
+	b.until = now + parole<<shift
+	b.level++
+	b.strikes = 0
+}
+
+// other flips a routing target.
+func other(t Target) Target {
+	if t == ScaleUp {
+		return ScaleOut
+	}
+	return ScaleUp
+}
+
 // RunFaulted executes the workload on the hybrid under a fault schedule.
 // With a nil/empty schedule, no injection and FailureAware off it reproduces
 // Run exactly. The returned error reports an unsurvivable or incoherent
@@ -108,9 +171,13 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 		return nil, fmt.Errorf("core: hybrid has no scheduler")
 	}
 	maxAttempts, backoff, runner := opt.defaults()
+	strikesCap, parole := opt.blacklistDefaults()
 	fp := opt.Schedule.Fingerprint()
 
 	eng := simclock.New()
+	if w := opt.Watchdog.Watchdog(nil); w != nil {
+		eng.SetWatchdog(w)
+	}
 	upSim := mapreduce.NewSimulatorOn(eng, h.Up)
 	outSim := mapreduce.NewSimulatorOn(eng, h.Out)
 	upSim.SetPolicy(h.Policy)
@@ -122,6 +189,18 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 	}
 	if err := opt.Inject.Apply(outSim); err != nil {
 		return nil, err
+	}
+	if opt.CloneStragglers {
+		threshold := opt.CloneThreshold
+		if threshold <= 0 {
+			threshold = 1.5
+		}
+		if err := upSim.SpeculateClones(threshold); err != nil {
+			return nil, err
+		}
+		if err := outSim.SpeculateClones(threshold); err != nil {
+			return nil, err
+		}
 	}
 	// Faults are scheduled before any submission, so at equal instants the
 	// capacity change precedes the arrival (the engine is FIFO per tick).
@@ -143,6 +222,7 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 	}
 	states := make(map[string]*state, len(jobs))
 	var results []JobResult
+	var bench [2]benchState // blacklist accounts, indexed by Target
 
 	var submit func(job workload.Job)
 	submit = func(job workload.Job) {
@@ -157,6 +237,15 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 			probe = pr
 			if d != target {
 				dest, rerouted = d, true
+			}
+		}
+		blacklisted := false
+		var benchUntil time.Duration
+		if opt.Blacklist {
+			now := eng.Now()
+			if now < bench[dest].until && now >= bench[other(dest)].until {
+				benchUntil = bench[dest].until
+				dest, blacklisted = other(dest), true
 			}
 		}
 		if h.Balance != nil {
@@ -187,6 +276,8 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 				OutMachinesDown: outSim.MachinesDown(),
 				UpStorageDown:   upSim.StorageDown(),
 				OutStorageDown:  outSim.StorageDown(),
+				Blacklisted:     blacklisted,
+				BenchUntil:      benchUntil,
 			})
 		}
 		if dest == ScaleUp {
@@ -200,6 +291,18 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 		st, ok := states[r.Job.ID]
 		if !ok {
 			panic(fmt.Sprintf("core: result for unknown job %s", r.Job.ID))
+		}
+		if opt.Blacklist && r.Err != nil {
+			// The half the job actually failed on takes the strike.
+			b := &bench[st.dest]
+			b.strikes++
+			if b.strikes >= strikesCap {
+				b.bench(now, parole)
+				if opt.Obs.Trace.Enabled() {
+					opt.Obs.Trace.Instant("hybrid", "blacklist", "bench", now,
+						st.dest.String()+" benched until "+b.until.String())
+				}
+			}
 		}
 		if r.Err != nil && opt.FailureAware && st.attempts < maxAttempts {
 			// Exponential backoff in simulated time; the retry is
@@ -254,19 +357,20 @@ type healthProbe struct {
 }
 
 // rerouteForHealth is the failure-aware extension of Algorithm 1: when the
-// preferred half is degraded (machines or storage down), both halves'
-// completion times are estimated — the isolated run on the half's currently
-// degraded platform view, stretched by its queue backlog — and the job moves
-// only when the other half strictly wins. A healthy preferred half is never
-// second-guessed, so under an empty schedule the routing is exactly
-// Algorithm 1's. The returned probe carries the ETA evidence for the audit
-// log (zero when the health gate short-circuited).
+// preferred half is degraded (machines or storage down, or a gray slowdown
+// window open), both halves' completion times are estimated — the isolated
+// run on the half's currently degraded platform view, stretched by its queue
+// backlog and gray slowdown — and the job moves only when the other half
+// strictly wins. A healthy preferred half is never second-guessed, so under
+// an empty schedule the routing is exactly Algorithm 1's. The returned probe
+// carries the ETA evidence for the audit log (zero when the health gate
+// short-circuited).
 func (h *Hybrid) rerouteForHealth(job workload.Job, preferred Target, upSim, outSim *mapreduce.Simulator, runner *sweep.Runner, faultsFP uint64) (Target, healthProbe) {
 	prefSim, altSim, alt := upSim, outSim, ScaleOut
 	if preferred == ScaleOut {
 		prefSim, altSim, alt = outSim, upSim, ScaleUp
 	}
-	if prefSim.MachinesDown() == 0 && prefSim.StorageDown() == 0 {
+	if prefSim.MachinesDown() == 0 && prefSim.StorageDown() == 0 && !prefSim.GrayActive() {
 		return preferred, healthProbe{}
 	}
 	var probe healthProbe
@@ -285,10 +389,12 @@ func (h *Hybrid) rerouteForHealth(job workload.Job, preferred Target, upSim, out
 }
 
 // etaOn estimates a job's completion time on one half right now: the
-// isolated execution on the half's degraded platform view, scaled by
-// (1 + queued maps / map slots) for the backlog in front of it. Estimates are
-// memoized under the fault schedule's fingerprint, so they never alias clean
-// sweep entries.
+// isolated execution on the half's degraded platform view (which carries any
+// gray network throttle), scaled by (1 + queued maps / map slots) for the
+// backlog in front of it and by the half's attempt-level gray slowdown.
+// Estimates are memoized under the fault schedule's fingerprint, so they
+// never alias clean sweep entries; the gray view's distinct platform name
+// keeps throttled entries from aliasing binary-degraded ones.
 func etaOn(sim *mapreduce.Simulator, job workload.Job, runner *sweep.Runner, faultsFP uint64) (time.Duration, bool) {
 	p, err := sim.PlatformNow()
 	if err != nil {
@@ -299,7 +405,7 @@ func etaOn(sim *mapreduce.Simulator, job workload.Job, runner *sweep.Runner, fau
 		return 0, false
 	}
 	load := 1 + float64(sim.MapQueueDepth())/float64(sim.MapSlotCapacity())
-	return time.Duration(float64(r.Exec) * load), true
+	return time.Duration(float64(r.Exec) * load * sim.GraySlowdown()), true
 }
 
 // RunBaselineFaulted is RunBaseline under a fault timeline and injection:
@@ -313,7 +419,18 @@ func RunBaselineFaulted(p *mapreduce.Platform, jobs []workload.Job, policy mapre
 // RunBaselineFaultedStats is RunBaselineFaulted with kernel statistics: a
 // non-nil stats receives the replay's executed-event count.
 func RunBaselineFaultedStats(p *mapreduce.Platform, jobs []workload.Job, policy mapreduce.Policy, events []faults.Event, inj Inject, stats *ReplayStats) ([]mapreduce.Result, error) {
+	return RunBaselineGuarded(p, jobs, policy, events, inj, stats, sweep.Budget{})
+}
+
+// RunBaselineGuarded is RunBaselineFaultedStats under a watchdog budget: an
+// over-budget replay stops by panicking with a *simclock.BudgetError, which
+// callers convert into a typed per-point error via sweep.Protect. The zero
+// budget runs unguarded.
+func RunBaselineGuarded(p *mapreduce.Platform, jobs []workload.Job, policy mapreduce.Policy, events []faults.Event, inj Inject, stats *ReplayStats, budget sweep.Budget) ([]mapreduce.Result, error) {
 	sim := mapreduce.NewSimulator(p)
+	if w := budget.Watchdog(nil); w != nil {
+		sim.Engine().SetWatchdog(w)
+	}
 	sim.SetPolicy(policy)
 	if err := inj.Apply(sim); err != nil {
 		return nil, err

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hybridmr/internal/faults"
+	"hybridmr/internal/obs"
+	"hybridmr/internal/simclock"
+	"hybridmr/internal/sweep"
+)
+
+// upGray opens a heavy cpu slowdown window over the scale-up half for the
+// whole arrival window.
+func upGray(t *testing.T, factor float64) *faults.Schedule {
+	t.Helper()
+	s, err := faults.NewSchedule([]faults.Event{
+		{At: 5 * time.Minute, Kind: faults.CPUSlow, Cluster: faults.ClusterUp, Count: 0, Factor: factor},
+		{At: 12 * time.Hour, Kind: faults.CPUOk, Cluster: faults.ClusterUp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// A gray slowdown on the preferred half triggers the health gate even though
+// no machine is down: the failure-aware run reroutes jobs and beats static
+// Algorithm 1 under the same window.
+func TestGrayRerouteBeatsStatic(t *testing.T) {
+	h := newHybridT(t)
+	jobs := upHeavyJobs(40)
+	sched := upGray(t, 6)
+
+	static, err := h.RunFaulted(jobs, FaultRun{Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := h.RunFaulted(jobs, FaultRun{Schedule: sched, FailureAware: true, Runner: sweep.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerouted := 0
+	for _, r := range aware {
+		if r.Err != nil {
+			t.Fatalf("job %s: %v", r.Job.ID, r.Err)
+		}
+		if r.Rerouted {
+			rerouted++
+		}
+	}
+	if rerouted == 0 {
+		t.Fatal("no job rerouted off the gray-slowed scale-up half")
+	}
+	if ms, ma := meanExec(static), meanExec(aware); ma >= ms {
+		t.Errorf("gray-aware mean %v not strictly below static %v", ma, ms)
+	}
+}
+
+// Speculative cloning never hurts under a gray window, and the replay stays
+// deterministic with it enabled.
+func TestCloneStragglersUnderGray(t *testing.T) {
+	h := newHybridT(t)
+	jobs := upHeavyJobs(20)
+	sched := upGray(t, 4)
+
+	plain, err := h.RunFaulted(jobs, FaultRun{Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloned, err := h.RunFaulted(jobs, FaultRun{Schedule: sched, CloneStragglers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc, mp := meanExec(cloned), meanExec(plain); mc > mp {
+		t.Errorf("cloned mean %v above unassisted %v", mc, mp)
+	}
+	again, err := h.RunFaulted(jobs, FaultRun{Schedule: sched, CloneStragglers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cloned {
+		if cloned[i].Exec != again[i].Exec {
+			t.Fatalf("job %s diverged between identical cloned replays", cloned[i].Job.ID)
+		}
+	}
+}
+
+// The blacklist benches a half whose jobs keep failing and routes around it,
+// and the audit log records the override with its bench horizon.
+func TestBlacklistBenchesFlakyHalf(t *testing.T) {
+	h := newHybridT(t)
+	jobs := upHeavyJobs(30)
+	inj := Inject{FailureRate: 0.9, Seed: 3} // nearly every attempt fails: jobs exhaust their budgets
+
+	audit := obs.NewAudit()
+	res, err := h.RunFaulted(jobs, FaultRun{
+		Inject:    inj,
+		Blacklist: true,
+		Obs:       obs.Set{Audit: audit},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, r := range res {
+		if r.Diverted {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no job moved off the benched half despite every job failing")
+	}
+	blacklisted := 0
+	for _, d := range audit.Decisions() {
+		if d.Blacklisted {
+			blacklisted++
+			if d.BenchUntil <= d.At {
+				t.Errorf("job %s: bench horizon %v not beyond decision instant %v", d.Job, d.BenchUntil, d.At)
+			}
+			if d.Static == d.Dest {
+				t.Errorf("job %s marked blacklisted but kept its static target", d.Job)
+			}
+		}
+	}
+	if blacklisted == 0 {
+		t.Error("no decision recorded a blacklist override")
+	}
+	if blacklisted != moved {
+		t.Logf("note: %d blacklist overrides, %d diverted results (retries may differ)", blacklisted, moved)
+	}
+
+	// Determinism: the benches and overrides replay identically.
+	res2, err := h.RunFaulted(jobs, FaultRun{Inject: inj, Blacklist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i].Exec != res2[i].Exec || res[i].Diverted != res2[i].Diverted {
+			t.Fatalf("job %s diverged between identical blacklist replays", res[i].Job.ID)
+		}
+	}
+}
+
+// Without failures the blacklist changes nothing: no strikes, no benches, no
+// overrides.
+func TestBlacklistInertWhenHealthy(t *testing.T) {
+	h := newHybridT(t)
+	jobs := upHeavyJobs(10)
+	plain, err := h.RunFaulted(jobs, FaultRun{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed, err := h.RunFaulted(jobs, FaultRun{Blacklist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i].Exec != listed[i].Exec || listed[i].Diverted {
+			t.Fatalf("job %s changed under an inert blacklist", plain[i].Job.ID)
+		}
+	}
+}
+
+// A watchdog budget stops a replay by panic with a *simclock.BudgetError;
+// sweep.Protect converts it into the typed per-point error the experiment
+// layer renders.
+func TestWatchdogStopsReplay(t *testing.T) {
+	h := newHybridT(t)
+	jobs := upHeavyJobs(20)
+
+	err := sweep.Protect(func() {
+		_, _ = h.RunFaulted(jobs, FaultRun{Watchdog: sweep.Budget{MaxEvents: 50}})
+	})
+	if err == nil {
+		t.Fatal("50-event budget did not stop a 20-job replay")
+	}
+	var perr *sweep.PointError
+	if !errors.As(err, &perr) || perr.Budget == nil {
+		t.Fatalf("error %v is not a budget point error", err)
+	}
+	var berr *simclock.BudgetError
+	if !errors.As(err, &berr) || berr.MaxEvents != 50 {
+		t.Fatalf("BudgetError not reachable: %v", err)
+	}
+
+	// A generous budget lets the same replay complete.
+	res, err2 := h.RunFaulted(jobs, FaultRun{Watchdog: sweep.Budget{MaxEvents: 10_000_000, MaxSimTime: 1000 * time.Hour}})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if len(res) != len(jobs) {
+		t.Errorf("%d results under an ample budget, want %d", len(res), len(jobs))
+	}
+}

@@ -1,0 +1,270 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGrayEventValidate(t *testing.T) {
+	good := []Event{
+		{At: time.Hour, Kind: CPUSlow, Cluster: ClusterUp, Count: 1, Factor: 2},
+		{At: time.Hour, Kind: CPUSlow, Cluster: ClusterUp, Count: 0, Factor: 1.5}, // 0 = all machines
+		{At: time.Hour, Kind: DiskSlow, Cluster: ClusterOut, Count: 3, Factor: 1},
+		{At: time.Hour, Kind: NICThrottle, Cluster: ClusterAll, Count: 1, Factor: 4},
+		{At: time.Hour, Kind: RackPartition, Cluster: ClusterOut, Count: 1, Factor: 3},
+		{At: time.Hour, Kind: CPUOk, Cluster: ClusterUp, Count: 1},
+		{At: time.Hour, Kind: RackHeal, Cluster: ClusterOut, Count: 1},
+	}
+	for i, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("good gray event %d (%v) rejected: %v", i, e, err)
+		}
+	}
+	bad := []struct {
+		e    Event
+		want string
+	}{
+		{Event{At: 0, Kind: CPUSlow, Cluster: ClusterUp, Count: 1, Factor: 0.5}, "below 1"},
+		{Event{At: 0, Kind: CPUSlow, Cluster: ClusterUp, Count: 1}, "below 1"},
+		{Event{At: 0, Kind: CPUOk, Cluster: ClusterUp, Count: 1, Factor: 2}, "takes none"},
+		{Event{At: 0, Kind: MachineCrash, Cluster: ClusterUp, Count: 1, Factor: 2}, "takes none"},
+		{Event{At: 0, Kind: NICThrottle, Cluster: ClusterAll, Count: 2, Factor: 2}, "cluster-wide"},
+		{Event{At: 0, Kind: RackPartition, Cluster: ClusterOut, Count: 0, Factor: 2}, "cluster-wide"},
+		{Event{At: 0, Kind: CPUSlow, Cluster: ClusterUp, Count: -1, Factor: 2}, "count"},
+	}
+	for i, tc := range bad {
+		err := tc.e.Validate()
+		if err == nil {
+			t.Errorf("bad gray event %d (%v) accepted", i, tc.e)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("bad gray event %d: error %q does not mention %q", i, err, tc.want)
+		}
+	}
+}
+
+// The duplicate/overlap satellite: exact duplicates, overlapping windows of
+// one stream on interacting clusters, and closes without an open are schedule
+// bugs with clear errors — not silently last-writer-wins.
+func TestScheduleGrayWindowValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []Event
+		want string
+	}{
+		{
+			"exact duplicate",
+			[]Event{
+				{At: time.Hour, Kind: MachineCrash, Cluster: ClusterUp, Count: 1},
+				{At: time.Hour, Kind: MachineCrash, Cluster: ClusterUp, Count: 1},
+			},
+			"exact duplicate",
+		},
+		{
+			"overlapping cpu windows on one cluster",
+			[]Event{
+				{At: time.Hour, Kind: CPUSlow, Cluster: ClusterUp, Count: 1, Factor: 2},
+				{At: 2 * time.Hour, Kind: CPUSlow, Cluster: ClusterUp, Count: 1, Factor: 3},
+			},
+			"overlaps open cpu window",
+		},
+		{
+			"cluster-wide window overlaps per-half window",
+			[]Event{
+				{At: time.Hour, Kind: DiskSlow, Cluster: ClusterOut, Count: 2, Factor: 2},
+				{At: 2 * time.Hour, Kind: DiskSlow, Cluster: ClusterAll, Count: 0, Factor: 2},
+			},
+			"overlaps open disk window",
+		},
+		{
+			"per-half window overlaps cluster-wide window",
+			[]Event{
+				{At: time.Hour, Kind: NICThrottle, Cluster: ClusterAll, Count: 1, Factor: 2},
+				{At: 2 * time.Hour, Kind: NICThrottle, Cluster: ClusterUp, Count: 1, Factor: 2},
+			},
+			"overlaps open nic window",
+		},
+		{
+			"close without open",
+			[]Event{{At: time.Hour, Kind: CPUOk, Cluster: ClusterUp, Count: 1}},
+			"not open",
+		},
+		{
+			"close on wrong cluster",
+			[]Event{
+				{At: time.Hour, Kind: RackPartition, Cluster: ClusterOut, Count: 1, Factor: 2},
+				{At: 2 * time.Hour, Kind: RackHeal, Cluster: ClusterUp, Count: 1},
+			},
+			"not open",
+		},
+	}
+	for _, tc := range cases {
+		_, err := NewSchedule(tc.evs)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Disjoint windows on the two halves, and sequential windows on one
+	// cluster, are fine.
+	ok := [][]Event{
+		{
+			{At: time.Hour, Kind: CPUSlow, Cluster: ClusterUp, Count: 1, Factor: 2},
+			{At: time.Hour, Kind: CPUSlow, Cluster: ClusterOut, Count: 2, Factor: 2},
+			{At: 2 * time.Hour, Kind: CPUOk, Cluster: ClusterUp, Count: 1},
+			{At: 3 * time.Hour, Kind: CPUOk, Cluster: ClusterOut, Count: 2},
+		},
+		{
+			{At: time.Hour, Kind: DiskSlow, Cluster: ClusterUp, Count: 1, Factor: 2},
+			{At: 2 * time.Hour, Kind: DiskOk, Cluster: ClusterUp, Count: 1},
+			{At: 3 * time.Hour, Kind: DiskSlow, Cluster: ClusterUp, Count: 1, Factor: 4},
+			{At: 4 * time.Hour, Kind: DiskOk, Cluster: ClusterUp, Count: 1},
+		},
+		{
+			// Streams are independent: cpu and disk windows may coexist.
+			{At: time.Hour, Kind: CPUSlow, Cluster: ClusterUp, Count: 1, Factor: 2},
+			{At: time.Hour, Kind: DiskSlow, Cluster: ClusterUp, Count: 1, Factor: 2},
+			{At: 2 * time.Hour, Kind: CPUOk, Cluster: ClusterUp, Count: 1},
+			{At: 2 * time.Hour, Kind: DiskOk, Cluster: ClusterUp, Count: 1},
+		},
+	}
+	for i, evs := range ok {
+		if _, err := NewSchedule(evs); err != nil {
+			t.Errorf("valid schedule %d rejected: %v", i, err)
+		}
+	}
+}
+
+// Gray factors fold into the fingerprint — but only for gray kinds, so
+// pre-gray schedules fingerprint exactly as they always did (the resilience
+// golden pins Demo()'s printed fingerprint).
+func TestGrayFingerprint(t *testing.T) {
+	a := GrayDemo()
+	if a.Fingerprint() == 0 {
+		t.Fatal("gray demo fingerprints to the clean sentinel")
+	}
+	if a.Fingerprint() != GrayDemo().Fingerprint() {
+		t.Error("gray fingerprint not deterministic")
+	}
+	b := GrayDemo()
+	b.Events[0].Factor *= 2
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("factor perturbation left the fingerprint unchanged")
+	}
+	if a.Fingerprint() == Demo().Fingerprint() {
+		t.Error("gray demo collides with the crash demo")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	m, err := Merge(Demo(), GrayDemo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(m.Events), len(Demo().Events)+len(GrayDemo().Events); got != want {
+		t.Errorf("merged %d events, want %d", got, want)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("merged schedule invalid: %v", err)
+	}
+	if m.Fingerprint() == Demo().Fingerprint() || m.Fingerprint() == GrayDemo().Fingerprint() {
+		t.Error("merged fingerprint aliases an input")
+	}
+	// Nil and empty inputs pass through.
+	if m2, err := Merge(nil, GrayDemo()); err != nil || m2.Fingerprint() != GrayDemo().Fingerprint() {
+		t.Errorf("merge with nil changed the schedule: %v", err)
+	}
+	if m2, err := Merge(nil, nil); err != nil || !m2.Empty() {
+		t.Errorf("merging two nils: %v, %v", m2, err)
+	}
+	// Merging two copies of one schedule duplicates every event — rejected.
+	if _, err := Merge(Demo(), Demo()); err == nil {
+		t.Error("self-merge with duplicate events accepted")
+	}
+}
+
+func TestWithRerepl(t *testing.T) {
+	s, err := Demo().WithRerepl(1.5, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demo has one storage loss (ofs-down@2h x4): one disk window appears.
+	var opens, closes []Event
+	for _, e := range s.Events {
+		switch e.Kind {
+		case DiskSlow:
+			opens = append(opens, e)
+		case DiskOk:
+			closes = append(closes, e)
+		}
+	}
+	if len(opens) != 1 || len(closes) != 1 {
+		t.Fatalf("rerepl produced %d opens / %d closes, want 1/1", len(opens), len(closes))
+	}
+	if opens[0].At != 2*time.Hour || opens[0].Factor != 1.5 || opens[0].Count != 0 {
+		t.Errorf("rerepl open %v, want all-machine disk-slow@2h *1.5", opens[0])
+	}
+	if closes[0].At != 3*time.Hour {
+		t.Errorf("rerepl close at %v, want 3h", closes[0].At)
+	}
+
+	// Back-to-back losses inside one window coalesce into one interval.
+	base, err := NewSchedule([]Event{
+		{At: 1 * time.Hour, Kind: DatanodeDown, Cluster: ClusterAll, Count: 1},
+		{At: 90 * time.Minute, Kind: DatanodeDown, Cluster: ClusterAll, Count: 1},
+		{At: 6 * time.Hour, Kind: DatanodeDown, Cluster: ClusterAll, Count: 1},
+		{At: 8 * time.Hour, Kind: DatanodeUp, Cluster: ClusterAll, Count: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := base.WithRerepl(2, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows int
+	for _, e := range s2.Events {
+		if e.Kind == DiskSlow {
+			windows++
+		}
+	}
+	if windows != 2 {
+		t.Errorf("coalescing produced %d windows, want 2 (1h–2.5h merged, 6h–7h separate)", windows)
+	}
+
+	// Factor 1 and empty schedules pass through untouched.
+	if s3, err := Demo().WithRerepl(1, time.Hour); err != nil || s3.Fingerprint() != Demo().Fingerprint() {
+		t.Errorf("factor-1 rerepl changed the schedule: %v", err)
+	}
+	if s3, err := (&Schedule{}).WithRerepl(2, time.Hour); err != nil || !s3.Empty() {
+		t.Errorf("empty rerepl: %v, %v", s3, err)
+	}
+	// Invalid parameters error.
+	if _, err := Demo().WithRerepl(0.5, time.Hour); err == nil {
+		t.Error("sub-1 rerepl factor accepted")
+	}
+	if _, err := Demo().WithRerepl(2, 0); err == nil {
+		t.Error("zero rerepl window accepted")
+	}
+}
+
+func TestGrayDemoValid(t *testing.T) {
+	s := GrayDemo()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.Events {
+		if !e.Kind.IsGray() {
+			t.Errorf("gray demo carries non-gray event %v", e)
+		}
+	}
+	// The gray demo must compose with the crash demo (the golden scenario).
+	if _, err := Merge(Demo(), GrayDemo()); err != nil {
+		t.Fatalf("gray demo does not compose with crash demo: %v", err)
+	}
+}

@@ -7,16 +7,25 @@ import (
 	"time"
 )
 
-// ParseSchedule parses the -faults CLI syntax. Three forms:
+// ParseSchedule parses the -faults/-degrade CLI syntax. Four forms:
 //
-//	demo                                     the built-in reference scenario
-//	cluster:kind@time[xN][;...]              explicit event list
+//	demo                                     the built-in crash/loss scenario
+//	gray-demo                                the built-in gray-failure scenario
+//	cluster:kind@time[xN][*F][;...]          explicit event list
 //	mtbf:up=6h,out=24h,mttr=45m,until=24h,seed=7   Poisson generator
 //
 // Explicit events name a cluster (up, out, all), a kind (crash, recover,
-// ofs-down, ofs-up, dn-down, dn-up), a Go duration and an optional count,
-// e.g. "up:crash@30m;up:recover@10h;all:ofs-down@2hx4". OFS events are
-// normalized to cluster "all" — the file system is shared.
+// ofs-down, ofs-up, dn-down, dn-up, cpu-slow, cpu-ok, disk-slow, disk-ok,
+// nic-slow, nic-ok, rack-part, rack-heal), a Go duration, an optional count
+// and — for the gray window-start kinds — a slowdown factor, e.g.
+// "up:crash@30m;up:recover@10h;all:ofs-down@2hx4" or
+// "up:cpu-slow@1hx1*2.0;up:cpu-ok@6h". OFS events are normalized to cluster
+// "all" — the file system is shared.
+//
+// The event list may also carry a "rerepl:F@W" directive: every storage
+// loss then opens a cluster-wide disk slowdown of factor F for window W
+// (re-replication traffic taxing the survivors), with back-to-back losses
+// coalesced; see Schedule.WithRerepl.
 //
 // The mtbf form draws per-machine Poisson failures: up= and out= set the
 // per-machine MTBF of the scale-up (2 machines) and scale-out (12 machines)
@@ -30,13 +39,30 @@ func ParseSchedule(spec string) (*Schedule, error) {
 		return nil, fmt.Errorf("faults: empty schedule spec")
 	case spec == "demo":
 		return Demo(), nil
+	case spec == "gray-demo":
+		return GrayDemo(), nil
 	case strings.HasPrefix(spec, "mtbf:"):
 		return parseMTBF(strings.TrimPrefix(spec, "mtbf:"))
 	}
-	var events []Event
+	var (
+		events       []Event
+		rereplFactor float64
+		rereplWindow time.Duration
+	)
 	for _, item := range strings.Split(spec, ";") {
 		item = strings.TrimSpace(item)
 		if item == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(item, "rerepl:"); ok {
+			if rereplFactor != 0 {
+				return nil, fmt.Errorf("faults: duplicate rerepl directive %q", item)
+			}
+			var err error
+			rereplFactor, rereplWindow, err = parseRerepl(rest)
+			if err != nil {
+				return nil, err
+			}
 			continue
 		}
 		ev, err := parseEvent(item)
@@ -48,23 +74,38 @@ func ParseSchedule(spec string) (*Schedule, error) {
 	if len(events) == 0 {
 		return nil, fmt.Errorf("faults: schedule spec %q has no events", spec)
 	}
-	return NewSchedule(events)
+	s, err := NewSchedule(events)
+	if err != nil {
+		return nil, err
+	}
+	if rereplFactor != 0 {
+		return s.WithRerepl(rereplFactor, rereplWindow)
+	}
+	return s, nil
 }
 
 // kindNames maps the spec spellings to kinds.
 var kindNames = map[string]Kind{
-	"crash":    MachineCrash,
-	"recover":  MachineRecover,
-	"ofs-down": OFSServerDown,
-	"ofs-up":   OFSServerUp,
-	"dn-down":  DatanodeDown,
-	"dn-up":    DatanodeUp,
+	"crash":     MachineCrash,
+	"recover":   MachineRecover,
+	"ofs-down":  OFSServerDown,
+	"ofs-up":    OFSServerUp,
+	"dn-down":   DatanodeDown,
+	"dn-up":     DatanodeUp,
+	"cpu-slow":  CPUSlow,
+	"cpu-ok":    CPUOk,
+	"disk-slow": DiskSlow,
+	"disk-ok":   DiskOk,
+	"nic-slow":  NICThrottle,
+	"nic-ok":    NICOk,
+	"rack-part": RackPartition,
+	"rack-heal": RackHeal,
 }
 
 func parseEvent(item string) (Event, error) {
 	cluster, rest, ok := strings.Cut(item, ":")
 	if !ok {
-		return Event{}, fmt.Errorf("faults: event %q: want cluster:kind@time[xN]", item)
+		return Event{}, fmt.Errorf("faults: event %q: want cluster:kind@time[xN][*F]", item)
 	}
 	kindStr, at, ok := strings.Cut(rest, "@")
 	if !ok {
@@ -73,6 +114,14 @@ func parseEvent(item string) (Event, error) {
 	kind, ok := kindNames[strings.TrimSpace(kindStr)]
 	if !ok {
 		return Event{}, fmt.Errorf("faults: event %q: unknown kind %q", item, kindStr)
+	}
+	factor := 0.0
+	if timeStr, factorStr, split := strings.Cut(at, "*"); split {
+		f, err := strconv.ParseFloat(strings.TrimSpace(factorStr), 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("faults: event %q: factor %q: %v", item, factorStr, err)
+		}
+		factor, at = f, timeStr
 	}
 	count := 1
 	if timeStr, countStr, split := strings.Cut(at, "x"); split {
@@ -86,11 +135,34 @@ func parseEvent(item string) (Event, error) {
 	if err != nil {
 		return Event{}, fmt.Errorf("faults: event %q: %v", item, err)
 	}
-	ev := Event{At: d, Kind: kind, Cluster: strings.TrimSpace(cluster), Count: count}
+	ev := Event{At: d, Kind: kind, Cluster: strings.TrimSpace(cluster), Count: count, Factor: factor}
 	if kind == OFSServerDown || kind == OFSServerUp {
 		ev.Cluster = ClusterAll
 	}
 	return ev, ev.Validate()
+}
+
+// parseRerepl parses the "F@W" payload of a rerepl directive.
+func parseRerepl(arg string) (float64, time.Duration, error) {
+	factorStr, windowStr, ok := strings.Cut(arg, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("faults: rerepl directive %q: want rerepl:factor@window", arg)
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(factorStr), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("faults: rerepl factor %q: %v", factorStr, err)
+	}
+	w, err := time.ParseDuration(strings.TrimSpace(windowStr))
+	if err != nil {
+		return 0, 0, fmt.Errorf("faults: rerepl window %q: %v", windowStr, err)
+	}
+	if f < 1 {
+		return 0, 0, fmt.Errorf("faults: rerepl factor %v below 1", f)
+	}
+	if w <= 0 {
+		return 0, 0, fmt.Errorf("faults: rerepl window %v not positive", w)
+	}
+	return f, w, nil
 }
 
 // Default machine populations for the mtbf generator form: the paper's

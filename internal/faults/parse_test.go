@@ -1,6 +1,9 @@
 package faults
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestParseScheduleDemo(t *testing.T) {
 	s, err := ParseSchedule("demo")
@@ -49,11 +52,75 @@ func TestParseScheduleErrors(t *testing.T) {
 		"mtbf:warp=6h",      // unknown mtbf key
 		"mtbf:seed=x,up=6h", // bad seed
 		"mtbf:up",           // missing value
+		// Gray-failure syntax errors.
+		"up:cpu-slow@1h",                       // start kind without a factor
+		"up:cpu-slow@1h*0.5",                   // factor below 1
+		"up:cpu-slow@1h*fast",                  // non-numeric factor
+		"up:cpu-ok@1h*2",                       // factor on an end kind
+		"up:crash@30m*2",                       // factor on a binary kind
+		"all:nic-slow@1hx2*2",                  // cluster-wide kind with count != 1
+		"up:cpu-ok@1h",                         // close without open
+		"up:cpu-slow@1h*2;up:cpu-slow@2h*3",    // overlapping windows
+		"up:crash@30m;up:crash@30m",            // exact duplicate
+		"rerepl:2@1h",                          // directive with no events
+		"up:crash@30m;rerepl:2",                // rerepl missing window
+		"up:crash@30m;rerepl:0.5@1h",           // rerepl factor below 1
+		"up:crash@30m;rerepl:2@0s",             // rerepl window not positive
+		"up:crash@30m;rerepl:2@1h;rerepl:3@1h", // duplicate directive
 	}
 	for _, spec := range bad {
 		if _, err := ParseSchedule(spec); err == nil {
 			t.Errorf("spec %q accepted", spec)
 		}
+	}
+}
+
+func TestParseScheduleGray(t *testing.T) {
+	s, err := ParseSchedule("up:cpu-slow@1hx1*2.0; up:cpu-ok@6h; out:disk-slow@90mx3*1.8; out:disk-ok@7hx3;" +
+		"all:nic-slow@3h*1.5; all:nic-ok@4h; out:rack-part@8h*3.0; out:rack-heal@8h45m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fingerprint() != GrayDemo().Fingerprint() {
+		t.Error("explicit gray event list does not reproduce GrayDemo()")
+	}
+	if g, err := ParseSchedule("gray-demo"); err != nil || g.Fingerprint() != GrayDemo().Fingerprint() {
+		t.Errorf("gray-demo spec does not match GrayDemo(): %v", err)
+	}
+	// Count 0 = every machine; factor without explicit count defaults to 1.
+	s, err = ParseSchedule("up:disk-slow@1hx0*2;up:disk-ok@2hx0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events[0].Count != 0 || s.Events[0].Factor != 2 {
+		t.Errorf("parsed %v, want all-machine factor-2 window", s.Events[0])
+	}
+}
+
+func TestParseScheduleRerepl(t *testing.T) {
+	s, err := ParseSchedule("all:ofs-down@2hx4;all:ofs-up@5hx4;rerepl:1.5@45m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ParseSchedule("all:ofs-down@2hx4;all:ofs-up@5hx4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = want.WithRerepl(1.5, 45*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fingerprint() != want.Fingerprint() {
+		t.Error("rerepl directive does not match WithRerepl")
+	}
+	var sawDisk bool
+	for _, e := range s.Events {
+		if e.Kind == DiskSlow && e.At == 2*time.Hour && e.Factor == 1.5 {
+			sawDisk = true
+		}
+	}
+	if !sawDisk {
+		t.Error("rerepl directive opened no disk window at the loss instant")
 	}
 }
 

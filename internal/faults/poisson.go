@@ -135,5 +135,25 @@ func Generate(classes []ClassMTBF, window time.Duration, seed int64) (*Schedule,
 		active[key] = append(live, o.up.At)
 		events = append(events, o.down, o.up)
 	}
-	return NewSchedule(events)
+	return NewSchedule(coalesce(events))
+}
+
+// coalesce merges events identical up to Count into one event with the
+// summed count: two machines whose repairs clamp to the window end produce
+// one recover x2, not two duplicate recover x1 events (which Validate now
+// rejects as schedule bugs when hand-written).
+func coalesce(events []Event) []Event {
+	sortEvents(events)
+	out := events[:0]
+	for _, e := range events {
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			if prev.At == e.At && prev.Kind == e.Kind && prev.Cluster == e.Cluster && prev.Factor == e.Factor {
+				prev.Count += e.Count
+				continue
+			}
+		}
+		out = append(out, e)
+	}
+	return out
 }

@@ -12,6 +12,7 @@ import (
 	"hybridmr/internal/core"
 	"hybridmr/internal/faults"
 	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/obs"
 	"hybridmr/internal/stats"
 	"hybridmr/internal/sweep"
 	"hybridmr/internal/workload"
@@ -51,6 +52,28 @@ func goldenArtifacts(cal mapreduce.Calibration) []struct {
 		// stats and the failure-aware-vs-static verdict — byte for byte.
 		{"resilience", func() (string, error) {
 			r, err := RunResilience(cal, smallTraceConfig(600), faults.Demo(), core.Inject{})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		// The gray-failure replay: the crash demo merged with the gray demo
+		// (cpu/disk slowdowns, a NIC throttle, a rack partition) over the
+		// same 600-job trace, with the sixth blacklist+cloning replay
+		// enabled — pinning the degradation windows' factors, the
+		// Hybrid-FA-BL row and the graceful-degradation verdict byte for
+		// byte.
+		{"gray_resilience", func() (string, error) {
+			sched, err := faults.Merge(faults.Demo(), faults.GrayDemo())
+			if err != nil {
+				return "", err
+			}
+			jobs, err := workload.Generate(smallTraceConfig(600))
+			if err != nil {
+				return "", err
+			}
+			r, err := RunResilienceOpts(cal, jobs, sched, core.Inject{FailureRate: 0.25, Seed: 11}, obs.Set{}, nil,
+				ResilienceOpts{FABlacklist: true})
 			if err != nil {
 				return "", err
 			}

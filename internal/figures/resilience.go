@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -33,6 +34,11 @@ type ArchResilience struct {
 	// Reroutes counts jobs the failure-aware scheduler moved off their
 	// degraded preferred half (failure-aware hybrid only).
 	Reroutes int
+	// Err is set when the replay itself failed — a watchdog budget stop or
+	// a panic, recovered as a *sweep.PointError. The other fields are zero
+	// and Render shows the row as dashes with the error listed below the
+	// table; the sibling replays' results stand.
+	Err error
 }
 
 // Resilience is the fault-replay experiment: the FB-2009 trace under one
@@ -47,8 +53,13 @@ type Resilience struct {
 
 	FailureAware, Static, THadoop, RHadoop, Clean ArchResilience
 
+	// FABlacklist is the optional sixth replay (ResilienceOpts.FABlacklist):
+	// the failure-aware hybrid with flaky-half blacklisting and speculative
+	// straggler cloning on top. Nil unless the experiment asked for it.
+	FABlacklist *ArchResilience
+
 	// TotalEvents counts the simulation events the kernel executed across
-	// all five replays (deterministic); Wall is the wall-clock time the
+	// all replays (deterministic); Wall is the wall-clock time the
 	// replays took (not deterministic). Both feed Footer, never Render —
 	// Render is golden-snapshotted and must stay byte-identical.
 	TotalEvents uint64
@@ -84,6 +95,20 @@ func RunResilienceJobs(cal mapreduce.Calibration, jobs []workload.Job, sched *fa
 	return RunResilienceObserved(cal, jobs, sched, inj, obs.Set{}, nil)
 }
 
+// ResilienceOpts selects the robustness extras of the resilience experiment.
+// The zero value reproduces the classic five-replay run byte for byte.
+type ResilienceOpts struct {
+	// FABlacklist adds a sixth replay, "Hybrid-FA-BL": the failure-aware
+	// hybrid with flaky-half blacklisting and speculative straggler cloning
+	// enabled — the full graceful-degradation response.
+	FABlacklist bool
+	// Watchdog bounds every replay's simulation kernel. An over-budget (or
+	// panicking) replay is isolated: its row renders as failed with a typed
+	// *sweep.PointError and the remaining replays' results stand. The zero
+	// budget runs unguarded.
+	Watchdog sweep.Budget
+}
+
 // RunResilienceObserved is RunResilienceJobs with observability: the sinks in
 // o attach to the headline failure-aware hybrid replay (the architecture the
 // experiment argues for), and the runner's cache hit/miss counters mirror
@@ -93,6 +118,12 @@ func RunResilienceJobs(cal mapreduce.Calibration, jobs []workload.Job, sched *fa
 // runner's cache is shared process-wide, so its hit/miss split depends on
 // what ran before.
 func RunResilienceObserved(cal mapreduce.Calibration, jobs []workload.Job, sched *faults.Schedule, inj core.Inject, o obs.Set, runner *sweep.Runner) (*Resilience, error) {
+	return RunResilienceOpts(cal, jobs, sched, inj, o, runner, ResilienceOpts{})
+}
+
+// RunResilienceOpts is RunResilienceObserved with the robustness extras:
+// optional blacklist+cloning replay and a per-replay watchdog budget.
+func RunResilienceOpts(cal mapreduce.Calibration, jobs []workload.Job, sched *faults.Schedule, inj core.Inject, o obs.Set, runner *sweep.Runner, opts ResilienceOpts) (*Resilience, error) {
 	hybrid, err := core.NewHybrid(cal)
 	if err != nil {
 		return nil, err
@@ -134,7 +165,7 @@ func RunResilienceObserved(cal mapreduce.Calibration, jobs []workload.Job, sched
 				return nil, 0, err
 			}
 			var st core.ReplayStats
-			rs, err := core.RunBaselineFaultedStats(p, jobs, mapreduce.Fair, sched.ForBaseline(), inj, &st)
+			rs, err := core.RunBaselineGuarded(p, jobs, mapreduce.Fair, sched.ForBaseline(), inj, &st, opts.Watchdog)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -145,6 +176,7 @@ func RunResilienceObserved(cal mapreduce.Calibration, jobs []workload.Job, sched
 		return func() ([]jobOutcome, uint64, error) {
 			var st core.ReplayStats
 			opt.Stats = &st
+			opt.Watchdog = opts.Watchdog
 			rs, err := hybrid.RunFaulted(jobs, opt)
 			if err != nil {
 				return nil, 0, err
@@ -153,20 +185,28 @@ func RunResilienceObserved(cal mapreduce.Calibration, jobs []workload.Job, sched
 		}
 	}
 
+	res := &Resilience{Jobs: len(jobs), Schedule: sched, Inject: inj}
 	replays := []struct {
 		name string
 		into *ArchResilience
 		run  func() ([]jobOutcome, uint64, error)
 	}{
-		{"Hybrid-FA", nil, hybridRun(core.FaultRun{Schedule: sched, Inject: inj, FailureAware: true, Runner: runner, Obs: o})},
-		{"Hybrid-static", nil, hybridRun(core.FaultRun{Schedule: sched, Inject: inj})},
-		{"THadoop", nil, baseline(mapreduce.NewTHadoop)},
-		{"RHadoop", nil, baseline(mapreduce.NewRHadoop)},
-		{"Hybrid-clean", nil, hybridRun(core.FaultRun{})},
+		{"Hybrid-FA", &res.FailureAware, hybridRun(core.FaultRun{Schedule: sched, Inject: inj, FailureAware: true, Runner: runner, Obs: o})},
+		{"Hybrid-static", &res.Static, hybridRun(core.FaultRun{Schedule: sched, Inject: inj})},
+		{"THadoop", &res.THadoop, baseline(mapreduce.NewTHadoop)},
+		{"RHadoop", &res.RHadoop, baseline(mapreduce.NewRHadoop)},
+		{"Hybrid-clean", &res.Clean, hybridRun(core.FaultRun{})},
 	}
-	res := &Resilience{Jobs: len(jobs), Schedule: sched, Inject: inj}
-	for i, p := range []*ArchResilience{&res.FailureAware, &res.Static, &res.THadoop, &res.RHadoop, &res.Clean} {
-		replays[i].into = p
+	if opts.FABlacklist {
+		res.FABlacklist = &ArchResilience{}
+		replays = append(replays, struct {
+			name string
+			into *ArchResilience
+			run  func() ([]jobOutcome, uint64, error)
+		}{"Hybrid-FA-BL", res.FABlacklist, hybridRun(core.FaultRun{
+			Schedule: sched, Inject: inj, FailureAware: true, Runner: runner,
+			Blacklist: true, CloneStragglers: true,
+		})})
 	}
 
 	type outcome struct {
@@ -176,12 +216,26 @@ func RunResilienceObserved(cal mapreduce.Calibration, jobs []workload.Job, sched
 	}
 	start := time.Now() //simlint:allow walltime Wall is a real throughput footer, excluded from Render and the goldens
 	outs := sweep.Map(runner.Workers(), len(replays), func(i int) outcome {
-		rs, events, err := replays[i].run()
-		return outcome{results: rs, events: events, err: err}
+		// Panic isolation: a watchdog stop or a panic inside one replay
+		// becomes that row's typed error, not a torn-down experiment.
+		var o outcome
+		if perr := sweep.Protect(func() {
+			o.results, o.events, o.err = replays[i].run()
+		}); perr != nil {
+			o = outcome{err: perr}
+		}
+		return o
 	})
 	res.Wall = time.Since(start) //simlint:allow walltime Wall is a real throughput footer, excluded from Render and the goldens
 	for i, o := range outs {
 		if o.err != nil {
+			var perr *sweep.PointError
+			if errors.As(o.err, &perr) {
+				*replays[i].into = ArchResilience{Name: replays[i].name, Err: o.err}
+				continue
+			}
+			// Configuration errors (bad platform, bad schedule) still fail
+			// the whole experiment — there is nothing partial to render.
 			return nil, fmt.Errorf("figures: %s: %w", replays[i].name, o.err)
 		}
 		res.TotalEvents += o.events
@@ -240,7 +294,14 @@ func (r *Resilience) Render() string {
 	} else {
 		fmt.Fprintf(&b, "fault schedule (fp %#016x):\n", r.Schedule.Fingerprint())
 		for _, e := range r.Schedule.Events {
-			fmt.Fprintf(&b, "  %-10s %s: %s x%d\n", e.At, e.Cluster, e.Kind, e.Count)
+			// Gray slowdown events carry a factor; crashes and recoveries
+			// do not, and their lines must stay byte-identical to the
+			// pre-gray snapshots.
+			if e.Factor > 0 {
+				fmt.Fprintf(&b, "  %-10s %s: %s x%d factor %g\n", e.At, e.Cluster, e.Kind, e.Count, e.Factor)
+			} else {
+				fmt.Fprintf(&b, "  %-10s %s: %s x%d\n", e.At, e.Cluster, e.Kind, e.Count)
+			}
 		}
 	}
 	if in := r.Inject; in.FailureRate != 0 || in.StragglerFrac != 0 {
@@ -256,6 +317,14 @@ func (r *Resilience) Render() string {
 		Header: []string{"arch", "ok", "failed", "makespan", "mean(s)", "p50(s)", "p99(s)", "task-retries", "job-retries", "reroutes"},
 	}
 	for _, a := range r.archs() {
+		if a.Err != nil {
+			row := []string{a.Name}
+			for range tab.Header[1:] {
+				row = append(row, "-")
+			}
+			tab.Rows = append(tab.Rows, row)
+			continue
+		}
 		tab.Rows = append(tab.Rows, []string{
 			a.Name,
 			fmt.Sprintf("%d", a.OK),
@@ -273,10 +342,22 @@ func (r *Resilience) Render() string {
 	b.WriteString(tab.Render())
 
 	b.WriteString("\ndegradation vs clean hybrid (mean / p99):\n")
-	for _, a := range []ArchResilience{r.FailureAware, r.Static, r.THadoop, r.RHadoop} {
+	for _, a := range r.archs() {
+		if a.Name == r.Clean.Name || a.Err != nil {
+			continue
+		}
 		fmt.Fprintf(&b, "  %-13s %s / %s\n", a.Name,
 			pct(a.MeanS, r.Clean.MeanS),
 			pct(a.P99S, r.Clean.P99S))
+	}
+
+	// Replay errors appear only when a replay actually failed, so reports
+	// from healthy runs stay byte-identical to earlier snapshots.
+	if errs := r.erroredArchs(); len(errs) > 0 {
+		b.WriteString("\nreplay errors:\n")
+		for _, a := range errs {
+			fmt.Fprintf(&b, "  %-13s %v\n", a.Name, a.Err)
+		}
 	}
 
 	fa, st := r.FailureAware, r.Static
@@ -305,7 +386,23 @@ func (a ArchResilience) beats(o ArchResilience) bool {
 }
 
 func (r *Resilience) archs() []ArchResilience {
-	return []ArchResilience{r.FailureAware, r.Static, r.THadoop, r.RHadoop, r.Clean}
+	as := []ArchResilience{r.FailureAware}
+	if r.FABlacklist != nil {
+		as = append(as, *r.FABlacklist)
+	}
+	return append(as, r.Static, r.THadoop, r.RHadoop, r.Clean)
+}
+
+// erroredArchs returns the replays that failed with a per-point error, in
+// table order.
+func (r *Resilience) erroredArchs() []ArchResilience {
+	var out []ArchResilience
+	for _, a := range r.archs() {
+		if a.Err != nil {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // pct formats v as a signed percentage change over base.

@@ -42,21 +42,56 @@ type attempt struct {
 	seq    uint64
 	idx    int
 	fireFn simclock.Event
+
+	// Gray-degradation state (graysim.go). fireAt is the attempt's current
+	// completion instant — a slowdown window opening or closing rescales it
+	// by the remaining work; timers counts the engine timers referencing
+	// this attempt (a rescale to an earlier instant arms an extra one, and
+	// the attempt recycles only when the last timer has fired); done marks
+	// a completed attempt whose stale timers are still draining; slow is
+	// the slowdown the current fireAt was computed under; partner links a
+	// speculative clone with its original (first finisher wins, the loser
+	// is killed); isClone marks the speculative copy.
+	fireAt  time.Duration
+	timers  int
+	done    bool
+	slow    float64
+	partner *attempt
+	isClone bool
 }
 
-// fire is the attempt's completion event. A killed attempt's slot died with
-// its machine and the crash already re-queued the task, so only the stale
-// timer remains to swallow. Either way the attempt recycles here: this
-// callback is its last reader.
+// fire is the attempt's completion event. A killed or superseded attempt
+// only drains its stale timers here; a live attempt whose completion moved
+// later (a slowdown window opened) re-arms; otherwise the attempt completes,
+// kills its speculation partner if it still runs, and dispatches the task
+// completion. The attempt recycles when its last timer has fired — that
+// timer's callback is the last reader.
 func (att *attempt) fire(now time.Duration) {
 	s := att.sim
-	if att.killed {
-		s.recycleAttempt(att)
+	att.timers--
+	if att.killed || att.done {
+		if att.timers == 0 {
+			s.recycleAttempt(att)
+		}
 		return
 	}
+	if now < att.fireAt {
+		// Stale early timer: the attempt was stretched past this instant.
+		if att.timers == 0 {
+			att.timers++
+			s.eng.At(att.fireAt, att.fireFn)
+		}
+		return
+	}
+	att.done = true
 	s.removeAttempt(att)
 	run, taskID, isMap := att.run, att.taskID, att.isMap
-	s.recycleAttempt(att)
+	if att.partner != nil {
+		s.loseSpeculation(att, now)
+	}
+	if att.timers == 0 {
+		s.recycleAttempt(att)
+	}
 	if isMap {
 		s.mapTaskDone(run, taskID, now)
 	} else {
@@ -79,6 +114,7 @@ func (s *Simulator) addAttempt(run *jobRun, taskID int, isMap bool) *attempt {
 	}
 	s.attemptSeq++
 	att.sim, att.run, att.taskID, att.isMap, att.killed = s, run, taskID, isMap, false
+	att.fireAt, att.timers, att.done, att.slow, att.partner, att.isClone = 0, 0, false, 1, nil, false
 	att.seq, att.idx = s.attemptSeq, len(s.inflight)
 	s.inflight = append(s.inflight, att)
 	return att
@@ -153,7 +189,23 @@ func (s *Simulator) ScheduleFaults(events []faults.Event) error {
 			if downM < 0 {
 				return fmt.Errorf("mapreduce: %s: machine recovery at %v without a matching crash", s.platform.Name, ev.At)
 			}
+		case faults.NICThrottle, faults.RackPartition:
+			// The planning view under the throttle must be constructible
+			// (and is memoized here for the live run).
+			nic, rack := 1.0, ev.Factor
+			if ev.Kind == faults.NICThrottle {
+				nic, rack = ev.Factor, 1.0
+			}
+			if _, err := s.degradedPlatform(0, downS, nic, rack); err != nil {
+				return fmt.Errorf("mapreduce: %s: fault schedule at %v: %w", s.platform.Name, ev.At, err)
+			}
 		default:
+			if ev.Kind.IsGray() {
+				// cpu/disk slowdowns and the nic/rack closers: weighted
+				// attempt stretching cannot fail, and the window structure
+				// was already checked by faults.Schedule.
+				continue
+			}
 			if ev.Kind.IsRecovery() {
 				downS -= ev.Count
 				if downS < 0 {
@@ -162,7 +214,7 @@ func (s *Simulator) ScheduleFaults(events []faults.Event) error {
 			} else {
 				downS += ev.Count
 			}
-			if _, err := s.degradedPlatform(0, downS); err != nil {
+			if _, err := s.degradedPlatform(0, downS, 1, 1); err != nil {
 				return fmt.Errorf("mapreduce: %s: fault schedule at %v: %w", s.platform.Name, ev.At, err)
 			}
 		}
@@ -182,6 +234,10 @@ func (s *Simulator) applyFault(ev faults.Event, now time.Duration) {
 	case faults.MachineRecover:
 		s.recoverMachines(ev.Count, now)
 	default:
+		if ev.Kind.IsGray() {
+			s.applyGray(ev, now)
+			return
+		}
 		// Storage loss changes how future jobs are planned; I/O already
 		// in flight keeps its planned duration (see file comment).
 		if ev.Kind.IsRecovery() {
@@ -256,10 +312,17 @@ func (s *Simulator) killAttempts(isMap bool, n int, now time.Duration) int {
 	for _, att := range victims {
 		att.killed = true
 		s.removeAttempt(att)
+		// A speculation pair losing one side keeps the survivor on the
+		// task, so the kill must not re-queue it; if both die in the same
+		// crash, the first death unpairs and the second re-queues.
+		paired := att.partner != nil
+		if paired {
+			att.partner.partner, att.partner = nil, nil
+		}
 		run := att.run
 		if isMap {
 			run.runningMaps--
-			if !run.failed {
+			if !run.failed && !paired {
 				// A crash kill is Hadoop's KILLED, not FAILED: it
 				// does not count against the task's max attempts.
 				run.pendingMapIDs = append(run.pendingMapIDs, att.taskID)
@@ -270,7 +333,7 @@ func (s *Simulator) killAttempts(isMap bool, n int, now time.Duration) int {
 			s.touch(kMap, run)
 		} else {
 			run.runningReds--
-			if !run.failed {
+			if !run.failed && !paired {
 				run.pendingRedIDs = append(run.pendingRedIDs, att.taskID)
 				run.retries++
 				s.traceRetry(run, att.taskID, false, now, "killed")
@@ -325,14 +388,21 @@ func (s *Simulator) recoverMachines(k int, now time.Duration) {
 	s.dispatch(now)
 }
 
-// degradedPlatform returns the platform view with the given losses applied,
-// memoized per (machines, storage) level — fault timelines revisit the same
-// few levels, and planning against a view must not rebuild it every job.
-func (s *Simulator) degradedPlatform(machinesDown, storageDown int) (*Platform, error) {
-	if machinesDown == 0 && storageDown == 0 {
+// degradeKey identifies one memoized platform view: the binary loss level
+// plus the gray planning factors active when it was built.
+type degradeKey struct {
+	machines, storage int
+	nic, rack         float64
+}
+
+// degradedPlatform returns the platform view with the given losses and gray
+// network factors applied, memoized per level — fault timelines revisit the
+// same few levels, and planning against a view must not rebuild it every job.
+func (s *Simulator) degradedPlatform(machinesDown, storageDown int, nic, rack float64) (*Platform, error) {
+	if machinesDown == 0 && storageDown == 0 && nic == 1 && rack == 1 {
 		return s.platform, nil
 	}
-	key := [2]int{machinesDown, storageDown}
+	key := degradeKey{machinesDown, storageDown, nic, rack}
 	if p, ok := s.degraded[key]; ok {
 		return p, nil
 	}
@@ -340,8 +410,14 @@ func (s *Simulator) degradedPlatform(machinesDown, storageDown int) (*Platform, 
 	if err != nil {
 		return nil, err
 	}
+	if nic != 1 || rack != 1 {
+		p, err = grayView(p, nic, rack)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if s.degraded == nil {
-		s.degraded = make(map[[2]int]*Platform)
+		s.degraded = make(map[degradeKey]*Platform)
 	}
 	s.degraded[key] = p
 	return p, nil
@@ -349,10 +425,10 @@ func (s *Simulator) degradedPlatform(machinesDown, storageDown int) (*Platform, 
 
 // PlatformNow returns the platform as currently degraded: the healthy
 // platform when everything is up, otherwise a view with the lost machines
-// and storage servers removed. The failure-aware scheduler estimates ETAs
-// against it.
+// and storage servers removed and any gray network throttles applied. The
+// failure-aware scheduler estimates ETAs against it.
 func (s *Simulator) PlatformNow() (*Platform, error) {
-	return s.degradedPlatform(s.machinesDown, s.storageDown)
+	return s.degradedPlatform(s.machinesDown, s.storageDown, s.nicSlow, s.rackSlow)
 }
 
 // MachinesDown reports how many of the cluster's machines are currently

@@ -95,10 +95,20 @@ type Simulator struct {
 	// recycled through attemptFree).
 	machinesDown int
 	storageDown  int
-	degraded     map[[2]int]*Platform
+	degraded     map[degradeKey]*Platform
 	inflight     []*attempt
 	attemptSeq   uint64
 	attemptFree  []*attempt
+
+	// Gray degradation (graysim.go): the per-stream attempt-level slowdown
+	// weights (1 = clean), the planning-level network factors, the
+	// speculative-clone threshold (0 = clones disabled), and the clone
+	// counters SpeculationStats reports.
+	cpuSlow, diskSlow  float64
+	nicSlow, rackSlow  float64
+	cloneThreshold     float64
+	clonesStarted      int
+	clonesWon          int
 
 	// onResult, when set, receives finished results instead of the
 	// internal list (SetResultHook).
@@ -126,6 +136,10 @@ func NewSimulatorOn(eng *simclock.Engine, p *Platform) *Simulator {
 		freeRed:  p.Spec.ReduceSlots(),
 		capMap:   p.Spec.MapSlots(),
 		capRed:   p.Spec.ReduceSlots(),
+		cpuSlow:  1,
+		diskSlow: 1,
+		nicSlow:  1,
+		rackSlow: 1,
 	}
 	s.ready[kMap].kind = kMap
 	s.ready[kRed].kind = kRed
@@ -578,7 +592,7 @@ func (s *Simulator) startMapTask(run *jobRun, now time.Duration) {
 		run.firstMapAt = now
 	}
 	att := s.addAttempt(run, taskID, true)
-	s.eng.After(s.jitterDuration(run.pl.mapTask), att.fireFn)
+	s.armAttempt(att, s.jitterDuration(run.pl.mapTask), now)
 }
 
 // mapTaskDone is a map attempt's completion: the slot frees, and the task
@@ -637,7 +651,7 @@ func (s *Simulator) startReduceTask(run *jobRun, now time.Duration) {
 	s.obsv.redsStarted.Inc()
 	s.touch(kRed, run)
 	att := s.addAttempt(run, taskID, false)
-	s.eng.After(s.jitterDuration(run.pl.redTask), att.fireFn)
+	s.armAttempt(att, s.jitterDuration(run.pl.redTask), now)
 }
 
 // redTaskDone is a reduce attempt's completion, mirroring mapTaskDone; the

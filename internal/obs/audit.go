@@ -43,6 +43,12 @@ type Decision struct {
 	// the scale-up and scale-out halves.
 	UpMachinesDown, OutMachinesDown int
 	UpStorageDown, OutStorageDown   int
+	// Blacklisted reports that the flaky-cluster blacklist moved the job off
+	// a benched half; BenchUntil is when that bench ends. Both are emitted
+	// only when Blacklisted is set, so audits from runs without blacklisting
+	// are byte-identical to earlier versions.
+	Blacklisted bool
+	BenchUntil  time.Duration
 }
 
 // Audit accumulates scheduler decisions in emission order. Like the tracer
@@ -153,6 +159,12 @@ func (a *Audit) WriteJSONL(w io.Writer) error {
 				b = appendField(b, "margin_ns")
 				b = appendInt(b, int64(margin))
 			}
+		}
+		if d.Blacklisted {
+			b = appendField(b, "blacklisted")
+			b = appendBool(b, true)
+			b = appendField(b, "bench_until_ns")
+			b = appendInt(b, int64(d.BenchUntil))
 		}
 		b = append(b, '}', '\n')
 		if _, err := w.Write(b); err != nil {

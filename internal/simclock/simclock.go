@@ -46,6 +46,71 @@ type Engine struct {
 	seq     uint64
 	pending []item // 4-ary min-heap on (at, seq)
 	ran     uint64
+	watch   *Watchdog
+}
+
+// Watchdog bounds a simulation run: exceeding either budget — or an external
+// cancellation — makes Step panic with a *BudgetError instead of executing
+// the next event. The sweep runner's panic isolation converts that into a
+// typed per-point error, so one runaway simulation (a feedback loop that
+// schedules forever, a schedule that re-queues the same work endlessly)
+// cannot take down a whole experiment. Zero fields are unlimited.
+type Watchdog struct {
+	// MaxEvents is the largest number of executed events allowed; 0 means
+	// no event budget.
+	MaxEvents uint64
+	// MaxSimTime is the latest simulated instant an event may run at; 0
+	// means no time budget.
+	MaxSimTime time.Duration
+	// Cancel is polled (roughly every 1024 events, plus once on the first
+	// step) and aborts the run when it returns true — the hook for context
+	// cancellation. May be nil.
+	Cancel func() bool
+}
+
+// BudgetError reports a simulation stopped by its watchdog. It is delivered
+// by panic from inside Step — the engine cannot return errors through event
+// callbacks — and is recovered by sweep.Protect.
+type BudgetError struct {
+	// Events and SimTime describe the run at the moment it was stopped.
+	Events  uint64
+	SimTime time.Duration
+	// MaxEvents and MaxSimTime echo the exceeded budget (zero for the
+	// dimension that did not fire).
+	MaxEvents  uint64
+	MaxSimTime time.Duration
+	// Canceled reports the watchdog's Cancel hook fired instead of a budget.
+	Canceled bool
+}
+
+func (b *BudgetError) Error() string {
+	switch {
+	case b.Canceled:
+		return fmt.Sprintf("simclock: run canceled after %d events at %v", b.Events, b.SimTime)
+	case b.MaxEvents > 0:
+		return fmt.Sprintf("simclock: event budget %d exhausted at %v", b.MaxEvents, b.SimTime)
+	default:
+		return fmt.Sprintf("simclock: sim-time budget %v exceeded after %d events", b.MaxSimTime, b.Events)
+	}
+}
+
+// SetWatchdog installs (or, with nil, removes) the engine's watchdog. The
+// budgets are absolute — measured against the engine's total event count and
+// clock — so install it on a fresh engine.
+func (e *Engine) SetWatchdog(w *Watchdog) { e.watch = w }
+
+// guard enforces the watchdog before the next event (at instant at) runs.
+func (e *Engine) guard(at time.Duration) {
+	w := e.watch
+	if w.MaxEvents > 0 && e.ran >= w.MaxEvents {
+		panic(&BudgetError{Events: e.ran, SimTime: e.now, MaxEvents: w.MaxEvents})
+	}
+	if w.MaxSimTime > 0 && at > w.MaxSimTime {
+		panic(&BudgetError{Events: e.ran, SimTime: at, MaxSimTime: w.MaxSimTime})
+	}
+	if w.Cancel != nil && e.ran%1024 == 0 && w.Cancel() {
+		panic(&BudgetError{Events: e.ran, SimTime: e.now, Canceled: true})
+	}
 }
 
 // heapArity is the branching factor. 4 keeps the tree half as deep as a
@@ -135,6 +200,9 @@ func (e *Engine) Step() bool {
 	n := len(e.pending)
 	if n == 0 {
 		return false
+	}
+	if e.watch != nil {
+		e.guard(e.pending[0].at)
 	}
 	top := e.pending[0]
 	last := e.pending[n-1]

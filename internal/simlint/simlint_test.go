@@ -43,6 +43,14 @@ func TestObsExport(t *testing.T) {
 	simlinttest.Run(t, fixture("obsexport"), simlint.Walltime, simlint.Maporder)
 }
 
+// TestGrayfail pins the gray-failure response shapes — blacklist parole and
+// speculative clone selection — that internal/core and internal/mapreduce
+// must keep clean: wall-clock bench horizons and map-order candidate picks
+// are diagnostics; sim-time horizons and the sorted-keys pick pass.
+func TestGrayfail(t *testing.T) {
+	simlinttest.Run(t, fixture("grayfail"), simlint.Walltime, simlint.Maporder)
+}
+
 // TestSuppression pins the directive contract: a reasoned //simlint:allow
 // suppresses its line, a reasonless one suppresses nothing and is itself
 // diagnosed, and a stale one is reported.

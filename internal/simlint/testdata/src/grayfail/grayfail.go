@@ -1,0 +1,73 @@
+// Fixture modeling the gray-failure response paths — flaky-half blacklisting
+// and speculative clone selection — the shape internal/core and
+// internal/mapreduce must keep clean under the determinism contract: bench
+// horizons come from the simulated clock, never the wall clock, and clone
+// candidates are drawn from an explicitly ordered slice, never raw map
+// iteration.
+package grayfail
+
+import (
+	"sort"
+	"time"
+)
+
+type bench struct {
+	strikes int
+	until   time.Duration
+}
+
+// benchWall is the classic mistake: parole measured against the wall clock
+// makes every replay's bench horizon unique.
+func benchWall(b *bench, parole time.Duration) {
+	b.until = time.Duration(time.Now().UnixNano()) + parole // want "reads the wall clock"
+}
+
+// benchSim is the clean shape: the horizon comes from the simulated now.
+func benchSim(b *bench, now, parole time.Duration) {
+	b.until = now + parole
+}
+
+type attempt struct {
+	seq    int
+	fireAt time.Duration
+}
+
+// cloneUnordered picks speculation candidates straight out of the in-flight
+// map — the clone order (and so the whole replay) would change run to run.
+func cloneUnordered(inflight map[int]*attempt, slots int) []*attempt {
+	var picks []*attempt
+	for _, att := range inflight { // want "map iteration order is randomized"
+		if len(picks) >= slots {
+			break
+		}
+		picks = append(picks, att)
+	}
+	return picks
+}
+
+// cloneOldestFirst is the clean shape: collect the keys, sort them into the
+// deterministic attempt-sequence order, then pick.
+func cloneOldestFirst(inflight map[int]*attempt, slots int) []*attempt {
+	var seqs []int
+	for seq := range inflight {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	if len(seqs) > slots {
+		seqs = seqs[:slots]
+	}
+	picks := make([]*attempt, 0, len(seqs))
+	for _, seq := range seqs {
+		picks = append(picks, inflight[seq])
+	}
+	return picks
+}
+
+// watchdogWall paces a replay watchdog off the wall clock — budgets must
+// count simulated events and simulated time instead.
+func watchdogWall(stop chan struct{}) {
+	select {
+	case <-time.After(time.Minute): // want "reads the wall clock"
+	case <-stop:
+	}
+}

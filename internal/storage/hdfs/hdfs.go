@@ -89,6 +89,10 @@ type System struct {
 	healthy Config
 	// lost is the number of datanodes currently down.
 	lost int
+	// diskF and nicF are the cumulative gray throttle factors (1 = clean);
+	// they survive in the name so throttled instances never alias healthy
+	// ones in cache keys.
+	diskF, nicF float64
 }
 
 // New validates the configuration and builds the model.
@@ -127,10 +131,40 @@ func (s *System) Config() Config { return s.cfg }
 // name, so every cache key and report that embeds the file-system name
 // distinguishes degraded from healthy I/O.
 func (s *System) Name() string {
+	name := "HDFS"
 	if s.lost > 0 {
-		return fmt.Sprintf("HDFS(-%ddn)", s.lost)
+		name = fmt.Sprintf("HDFS(-%ddn)", s.lost)
 	}
-	return "HDFS"
+	if s.diskF > 1 || s.nicF > 1 {
+		name = fmt.Sprintf("%s÷(d%g,n%g)", name, s.diskF, s.nicF)
+	}
+	return name
+}
+
+// Throttle implements storage.Throttleable: the datanodes' disks run at
+// 1/disk of their bandwidth and their NICs at 1/nic. The page cache is RAM
+// and stays at full speed — a gray disk slows only the medium underneath it.
+// Factors compound when a throttled system is throttled again; apply after
+// Degrade (which rebuilds from the healthy configuration).
+func (s *System) Throttle(disk, nic float64) (storage.System, error) {
+	if err := storage.CheckThrottle(disk, nic); err != nil {
+		return nil, fmt.Errorf("hdfs: %w", err)
+	}
+	if disk == 1 && nic == 1 {
+		return s, nil
+	}
+	cfg := s.cfg
+	cfg.DiskBW = units.BytesPerSec(float64(cfg.DiskBW) / disk)
+	cfg.NodeNIC = units.BytesPerSec(float64(cfg.NodeNIC) / nic)
+	d, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.healthy = s.healthy
+	d.lost = s.lost
+	d.diskF = max(s.diskF, 1) * disk
+	d.nicF = max(s.nicF, 1) * nic
+	return d, nil
 }
 
 // Degrade implements storage.Degradable: it returns the model with `lost`
@@ -243,4 +277,7 @@ func (s *System) TaskWriteLatency() time.Duration { return s.cfg.WriteLatencyPer
 // JobOverhead implements storage.System.
 func (s *System) JobOverhead() time.Duration { return s.cfg.JobOverheadTime }
 
-var _ storage.Degradable = (*System)(nil)
+var (
+	_ storage.Degradable   = (*System)(nil)
+	_ storage.Throttleable = (*System)(nil)
+)

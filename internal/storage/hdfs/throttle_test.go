@@ -1,0 +1,76 @@
+package hdfs
+
+import (
+	"strings"
+	"testing"
+
+	"hybridmr/internal/units"
+)
+
+func TestThrottle(t *testing.T) {
+	s, err := New(outConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := s.Throttle(2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := th.(*System)
+	if got, want := ts.Config().DiskBW, units.BytesPerSec(float64(outConfig().DiskBW)/2); got != want {
+		t.Errorf("throttled disk = %v, want %v", got, want)
+	}
+	if got, want := ts.Config().NodeNIC, units.BytesPerSec(float64(outConfig().NodeNIC)/1.5); got != want {
+		t.Errorf("throttled NIC = %v, want %v", got, want)
+	}
+	if th.Name() == s.Name() {
+		t.Error("throttled system keeps the clean name (would alias cache keys)")
+	}
+	// Capacity is untouched — gray hardware is slow, not gone.
+	if ts.UsableCapacity() != s.UsableCapacity() {
+		t.Error("throttle changed capacity")
+	}
+	// Reads through the slow disk are slower.
+	c := ctx(24, 2, 12)
+	if th.PerTaskReadBW(c) >= s.PerTaskReadBW(c) {
+		t.Error("disk throttle did not slow reads")
+	}
+	// Unit factors are the identity.
+	if same, err := s.Throttle(1, 1); err != nil || same != s {
+		t.Errorf("unit throttle did not return the receiver: %v", err)
+	}
+	// Factors below one are invalid.
+	if _, err := s.Throttle(0.5, 1); err == nil {
+		t.Error("sub-1 disk factor accepted")
+	}
+	if _, err := s.Throttle(1, 0); err == nil {
+		t.Error("zero nic factor accepted")
+	}
+}
+
+func TestThrottleComposesWithDegrade(t *testing.T) {
+	s, err := New(outConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := s.Degrade(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := deg.(*System).Throttle(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := th.Name()
+	if !strings.Contains(name, "-2dn") || !strings.Contains(name, "d2") {
+		t.Errorf("name %q drops the loss or the throttle", name)
+	}
+	// Throttling twice compounds the factors.
+	th2, err := th.(*System).Throttle(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(th2.Name(), "d4") {
+		t.Errorf("name %q does not compound the disk factor", th2.Name())
+	}
+}

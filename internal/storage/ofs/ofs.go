@@ -72,6 +72,10 @@ type System struct {
 	healthy Config
 	// lost is the number of storage servers currently down.
 	lost int
+	// diskF and nicF are the cumulative gray throttle factors (1 = clean);
+	// they survive in the name so throttled instances never alias healthy
+	// ones in cache keys.
+	diskF, nicF float64
 }
 
 // New validates the configuration and builds the model.
@@ -102,10 +106,40 @@ func (s *System) Config() Config { return s.cfg }
 // name, so every cache key and report that embeds the file-system name
 // distinguishes degraded from healthy I/O.
 func (s *System) Name() string {
+	name := "OFS"
 	if s.lost > 0 {
-		return fmt.Sprintf("OFS(-%dsrv)", s.lost)
+		name = fmt.Sprintf("OFS(-%dsrv)", s.lost)
 	}
-	return "OFS"
+	if s.diskF > 1 || s.nicF > 1 {
+		name = fmt.Sprintf("%s÷(d%g,n%g)", name, s.diskF, s.nicF)
+	}
+	return name
+}
+
+// Throttle implements storage.Throttleable. The storage servers sit behind
+// their own fabric links, so both a disk slowdown (failing RAID members,
+// scrub traffic) and a NIC throttle (the servers share the throttled fabric)
+// shrink the bandwidth each server can deliver; the factors compose
+// multiplicatively. Capacity and striping are untouched. Apply after Degrade
+// (which rebuilds from the healthy configuration).
+func (s *System) Throttle(disk, nic float64) (storage.System, error) {
+	if err := storage.CheckThrottle(disk, nic); err != nil {
+		return nil, fmt.Errorf("ofs: %w", err)
+	}
+	if disk == 1 && nic == 1 {
+		return s, nil
+	}
+	cfg := s.cfg
+	cfg.ServerBW = units.BytesPerSec(float64(cfg.ServerBW) / (disk * nic))
+	d, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.healthy = s.healthy
+	d.lost = s.lost
+	d.diskF = max(s.diskF, 1) * disk
+	d.nicF = max(s.nicF, 1) * nic
+	return d, nil
 }
 
 // Degrade implements storage.Degradable: it returns the model with `lost`
@@ -219,4 +253,7 @@ func (s *System) ServersForFile(size units.Bytes) int {
 	return n
 }
 
-var _ storage.Degradable = (*System)(nil)
+var (
+	_ storage.Degradable   = (*System)(nil)
+	_ storage.Throttleable = (*System)(nil)
+)

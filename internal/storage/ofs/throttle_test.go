@@ -1,0 +1,61 @@
+package ofs
+
+import (
+	"strings"
+	"testing"
+
+	"hybridmr/internal/units"
+)
+
+func TestThrottle(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := s.Throttle(2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := th.(*System)
+	if got, want := ts.Config().ServerBW, units.BytesPerSec(float64(DefaultConfig().ServerBW)/3); got != want {
+		t.Errorf("throttled server BW = %v, want %v", got, want)
+	}
+	if th.Name() == s.Name() {
+		t.Error("throttled system keeps the clean name (would alias cache keys)")
+	}
+	if ts.UsableCapacity() != s.UsableCapacity() {
+		t.Error("throttle changed capacity")
+	}
+	if ts.Config().StripeWidth != s.Config().StripeWidth {
+		t.Error("throttle changed striping")
+	}
+	c := ctx(96, 8, 12)
+	if th.PerTaskReadBW(c) >= s.PerTaskReadBW(c) {
+		t.Error("throttle did not slow reads")
+	}
+	if same, err := s.Throttle(1, 1); err != nil || same != s {
+		t.Errorf("unit throttle did not return the receiver: %v", err)
+	}
+	if _, err := s.Throttle(0, 1); err == nil {
+		t.Error("zero disk factor accepted")
+	}
+}
+
+func TestThrottleComposesWithDegrade(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := s.Degrade(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := deg.(*System).Throttle(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := th.Name()
+	if !strings.Contains(name, "-4srv") || !strings.Contains(name, "n2") {
+		t.Errorf("name %q drops the loss or the throttle", name)
+	}
+}

@@ -13,6 +13,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"hybridmr/internal/units"
@@ -133,6 +134,28 @@ type System interface {
 type Degradable interface {
 	System
 	Degrade(lost int) (System, error)
+}
+
+// Throttleable is implemented by file systems that model gray degradation:
+// Throttle returns a System whose disk-side and network-side bandwidths are
+// divided by the given factors (each ≥ 1; exactly 1 leaves that axis
+// untouched, and 1/1 returns the receiver unchanged). Unlike Degrade, no
+// capacity is lost — the hardware is merely slow. Apply Throttle after
+// Degrade: Degrade rebuilds from the healthy configuration and would discard
+// an earlier throttle.
+type Throttleable interface {
+	System
+	Throttle(disk, nic float64) (System, error)
+}
+
+// CheckThrottle validates a pair of slowdown factors for Throttle.
+func CheckThrottle(disk, nic float64) error {
+	for _, f := range []float64{disk, nic} {
+		if f < 1 || math.IsInf(f, 0) || math.IsNaN(f) {
+			return fmt.Errorf("storage: throttle factor %v below 1", f)
+		}
+	}
+	return nil
 }
 
 // MinBW returns the smallest positive bandwidth among its arguments;

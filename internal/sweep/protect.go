@@ -1,0 +1,194 @@
+// Panic isolation and run budgets: one pathological sweep point — a
+// simulation that panics, runs away past its watchdog budget, or outlives a
+// canceled context — must yield a typed per-point error and leave the rest
+// of the experiment's results intact, not crash the process.
+
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridmr/internal/simclock"
+)
+
+// PointError reports one simulation point that failed outside its model: a
+// panic in the simulation code or a watchdog budget stop. The surrounding
+// experiment renders the point as failed and carries on.
+type PointError struct {
+	// Panic is the recovered panic value for non-budget failures.
+	Panic any
+	// Stack is the goroutine stack captured at recovery, empty for budget
+	// stops (the stop instant is described by Budget instead).
+	Stack []byte
+	// Budget is set when the failure was a watchdog stop.
+	Budget *simclock.BudgetError
+}
+
+// Error implements error with a one-line summary; the stack is available on
+// the field for diagnostics that want it.
+func (e *PointError) Error() string {
+	if e.Budget != nil {
+		return "sweep: point stopped: " + e.Budget.Error()
+	}
+	return fmt.Sprintf("sweep: point panicked: %v", e.Panic)
+}
+
+// Unwrap exposes the BudgetError to errors.As/Is chains.
+func (e *PointError) Unwrap() error {
+	if e.Budget != nil {
+		return e.Budget
+	}
+	return nil
+}
+
+// Protect runs fn, converting a panic into a *PointError: watchdog
+// *simclock.BudgetError panics become budget stops, anything else keeps the
+// panic value and captured stack. A nil return means fn completed.
+func Protect(fn func()) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		var berr *simclock.BudgetError
+		if errors.As(toError(r), &berr) {
+			err = &PointError{Budget: berr}
+			return
+		}
+		err = &PointError{Panic: r, Stack: debug.Stack()}
+	}()
+	fn()
+	return nil
+}
+
+// toError views a recovered panic value as an error for errors.As, wrapping
+// non-error values in a sentinel that matches nothing.
+func toError(r any) error {
+	if err, ok := r.(error); ok {
+		return err
+	}
+	return errors.New("sweep: non-error panic")
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, workers
+// stop claiming batches and MapCtx returns the partial results with
+// ctx.Err(). Completed slots hold their results; unvisited slots hold the
+// zero value. fn should itself watch ctx (e.g. via a watchdog Cancel hook)
+// if single points can run long.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(int) T) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	out := make([]T, n)
+	workers = normWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := range out {
+			if ctx.Err() != nil {
+				return out, ctx.Err()
+			}
+			out[i] = fn(i)
+		}
+		return out, ctx.Err()
+	}
+	batch := n / (workers * 4)
+	if batch < 1 {
+		batch = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				lo := int(next.Add(int64(batch))) - batch
+				if lo >= n {
+					return
+				}
+				hi := lo + batch
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					out[i] = fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out, ctx.Err()
+}
+
+// Budget is the user-facing watchdog configuration carried by the CLIs'
+// -watchdog flag and the experiment options. The zero value disables the
+// watchdog.
+type Budget struct {
+	// MaxEvents bounds the number of simulation events per point.
+	MaxEvents uint64
+	// MaxSimTime bounds the simulated clock per point.
+	MaxSimTime time.Duration
+}
+
+// Enabled reports whether any budget dimension is set.
+func (b Budget) Enabled() bool { return b.MaxEvents > 0 || b.MaxSimTime > 0 }
+
+// Watchdog converts the budget into an engine watchdog with the given
+// cancellation hook (which may be nil). It returns nil when the budget is
+// empty and no hook is given, so installing it on an engine stays free for
+// unbudgeted runs.
+func (b Budget) Watchdog(cancel func() bool) *simclock.Watchdog {
+	if !b.Enabled() && cancel == nil {
+		return nil
+	}
+	return &simclock.Watchdog{MaxEvents: b.MaxEvents, MaxSimTime: b.MaxSimTime, Cancel: cancel}
+}
+
+// ParseBudget parses the -watchdog flag syntax: comma-separated
+// "events=N,simtime=D" with either key optional, e.g. "events=5000000",
+// "simtime=48h", "events=1e7,simtime=72h". An empty spec is the zero budget.
+func ParseBudget(spec string) (Budget, error) {
+	var b Budget
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return b, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Budget{}, fmt.Errorf("sweep: watchdog spec %q: want key=value", kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "events":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 1 {
+				return Budget{}, fmt.Errorf("sweep: watchdog events %q: want a count ≥ 1", val)
+			}
+			b.MaxEvents = uint64(f)
+		case "simtime":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return Budget{}, fmt.Errorf("sweep: watchdog simtime %q: want a positive duration", val)
+			}
+			b.MaxSimTime = d
+		default:
+			return Budget{}, fmt.Errorf("sweep: watchdog spec: unknown key %q (want events=, simtime=)", key)
+		}
+	}
+	return b, nil
+}

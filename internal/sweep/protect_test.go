@@ -1,0 +1,138 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridmr/internal/simclock"
+)
+
+func TestProtectPanic(t *testing.T) {
+	err := Protect(func() { panic("boom") })
+	if err == nil {
+		t.Fatal("panic not converted")
+	}
+	var perr *PointError
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %T is not a *PointError", err)
+	}
+	if perr.Panic != "boom" || perr.Budget != nil {
+		t.Errorf("point error %+v, want the panic value", perr)
+	}
+	if len(perr.Stack) == 0 || !strings.Contains(string(perr.Stack), "TestProtectPanic") {
+		t.Error("stack not captured at the panic site")
+	}
+	if !strings.Contains(perr.Error(), "boom") {
+		t.Errorf("error %q drops the panic value", perr.Error())
+	}
+	if Protect(func() {}) != nil {
+		t.Error("clean run reported an error")
+	}
+}
+
+func TestProtectBudget(t *testing.T) {
+	e := simclock.New()
+	e.SetWatchdog(&simclock.Watchdog{MaxEvents: 10})
+	var fn simclock.Event
+	fn = func(now time.Duration) { e.At(now+time.Second, fn) }
+	e.At(0, fn)
+	err := Protect(func() { e.Run() })
+	if err == nil {
+		t.Fatal("budget stop not converted")
+	}
+	var perr *PointError
+	if !errors.As(err, &perr) || perr.Budget == nil {
+		t.Fatalf("error %v is not a budget point error", err)
+	}
+	// The BudgetError is reachable through the chain for callers matching
+	// on the cause.
+	var berr *simclock.BudgetError
+	if !errors.As(err, &berr) || berr.MaxEvents != 10 {
+		t.Errorf("BudgetError not unwrapped: %v", err)
+	}
+	if len(perr.Stack) != 0 {
+		t.Error("budget stop carries a stack (it is not a bug site)")
+	}
+}
+
+func TestMapCtx(t *testing.T) {
+	// Uncanceled: identical to Map.
+	got, err := MapCtx(context.Background(), 4, 100, func(i int) int { return i * i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	// Pre-canceled: nothing claimed, context error surfaced.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	_, err = MapCtx(ctx, 1, 100, func(i int) int { ran++; return i })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d points ran after cancellation", ran)
+	}
+	// Mid-run cancellation (serial path): later points are skipped.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	ran = 0
+	out, err := MapCtx(ctx2, 1, 100, func(i int) int {
+		ran++
+		if i == 9 {
+			cancel2()
+		}
+		return i + 1
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran != 10 {
+		t.Errorf("%d points ran, want 10", ran)
+	}
+	if out[9] != 10 || out[50] != 0 {
+		t.Error("completed slots lost or skipped slots filled")
+	}
+}
+
+func TestParseBudget(t *testing.T) {
+	good := map[string]Budget{
+		"":                          {},
+		"events=5000000":            {MaxEvents: 5000000},
+		"events=1e7":                {MaxEvents: 10000000},
+		"simtime=48h":               {MaxSimTime: 48 * time.Hour},
+		"events=100, simtime=30m":   {MaxEvents: 100, MaxSimTime: 30 * time.Minute},
+		" events=1 , simtime=1s , ": {MaxEvents: 1, MaxSimTime: time.Second},
+	}
+	for spec, want := range good {
+		got, err := ParseBudget(spec)
+		if err != nil || got != want {
+			t.Errorf("ParseBudget(%q) = %+v, %v; want %+v", spec, got, err, want)
+		}
+	}
+	bad := []string{"events", "events=", "events=zero", "events=0", "simtime=never", "simtime=-1h", "walltime=5s"}
+	for _, spec := range bad {
+		if _, err := ParseBudget(spec); err == nil {
+			t.Errorf("ParseBudget(%q) accepted", spec)
+		}
+	}
+	if (Budget{}).Enabled() {
+		t.Error("zero budget reports enabled")
+	}
+	if (Budget{}).Watchdog(nil) != nil {
+		t.Error("zero budget built a watchdog")
+	}
+	w := (Budget{MaxEvents: 5}).Watchdog(nil)
+	if w == nil || w.MaxEvents != 5 {
+		t.Error("budget watchdog dropped the event cap")
+	}
+	if (Budget{}).Watchdog(func() bool { return false }) == nil {
+		t.Error("cancel hook alone must still build a watchdog")
+	}
+}
