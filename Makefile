@@ -7,8 +7,19 @@ GO ?= go
 # something like 3x or a duration (2s) for a real perf-trajectory entry.
 BENCHTIME ?= 1x
 BENCH_JSON = BENCH_$(shell date +%Y-%m-%d).json
+# The latest committed perf-trajectory entry (BENCH_*.json sort by date) is
+# the baseline bench-check gates against.
+BENCH_BASELINE = $(lastword $(sort $(wildcard BENCH_*.json)))
+# Allowed ns/op regression for bench-check, in percent. Wide by default:
+# ns/op on shared CI runners is noisy and the real contract is the
+# allocation gate (alloc-tol 0 — any allocs/op growth on the pooled replay
+# path fails). Tighten locally: `make bench-check NS_TOL=15`.
+NS_TOL ?= 300
+# The benchmarks bench-check gates: the pooled replay path end to end.
+BENCH_GATE = BenchmarkFig10 BenchmarkTraceReplay BenchmarkResilienceReport \
+	BenchmarkReplayReuse/fresh BenchmarkReplayReuse/pooled BenchmarkEngineRaw
 
-.PHONY: all build test race vet lint resilience bench-smoke bench-json golden check
+.PHONY: all build test race vet lint resilience bench-smoke bench-json bench-check golden check
 
 all: check
 
@@ -59,6 +70,21 @@ bench-json:
 	$(GO) run ./cmd/benchjson < bench.out > $(BENCH_JSON)
 	@rm -f bench.out
 	@echo wrote $(BENCH_JSON)
+
+# Gate the gated benchmarks against the latest committed BENCH_*.json:
+# rerun them, convert to JSON, and diff with zero allocation tolerance (see
+# cmd/benchjson -diff). Fails the build when allocs/op grows at all or ns/op
+# regresses beyond NS_TOL percent. EngineRaw is a ~16ns op, so it always
+# runs at a fixed iteration count — timing 3 iterations would be pure clock
+# noise at smoke BENCHTIME settings.
+bench-check:
+	@test -n "$(BENCH_BASELINE)" || { echo "bench-check: no committed BENCH_*.json baseline"; exit 1; }
+	$(GO) test -run '^$$' -bench '^(BenchmarkFig10|BenchmarkTraceReplay|BenchmarkResilienceReport|BenchmarkReplayReuse)$$' -benchmem -benchtime $(BENCHTIME) . > bench-check.out
+	$(GO) test -run '^$$' -bench '^BenchmarkEngineRaw$$' -benchmem -benchtime 200000x . >> bench-check.out
+	$(GO) run ./cmd/benchjson < bench-check.out > bench-check.json
+	@rm -f bench-check.out
+	$(GO) run ./cmd/benchjson -diff -ns-tol $(NS_TOL) -alloc-tol 0 $(BENCH_BASELINE) bench-check.json $(BENCH_GATE)
+	@rm -f bench-check.json
 
 # Refresh the golden figure snapshots after an intentional model change.
 golden:

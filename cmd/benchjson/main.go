@@ -7,6 +7,18 @@
 //
 // Lines that are not benchmark results (package headers, PASS/ok, assertion
 // chatter) are ignored, so the whole `go test` stream can be piped through.
+//
+// With -diff it becomes a regression gate instead:
+//
+//	benchjson -diff [-ns-tol 15] [-alloc-tol 0] old.json new.json [name...]
+//
+// compares two reports and exits non-zero when any named benchmark (all
+// benchmarks common to both files if no names are given) regressed: ns/op
+// worse by more than -ns-tol percent, or allocs/op worse by more than
+// -alloc-tol percent (default 0 — any alloc growth fails, since the pooled
+// replay path is supposed to be allocation-flat). A name listed on the
+// command line but missing from either file is an error, so CI cannot pass
+// by silently dropping a gated benchmark.
 package main
 
 import (
@@ -48,7 +60,22 @@ type Report struct {
 
 func main() {
 	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the report")
+	diff := flag.Bool("diff", false, "compare two reports (old.json new.json [name...]) and fail on regression")
+	nsTol := flag.Float64("ns-tol", 15, "with -diff: allowed ns/op regression in percent")
+	allocTol := flag.Float64("alloc-tol", 0, "with -diff: allowed allocs/op regression in percent")
 	flag.Parse()
+
+	if *diff {
+		out, failed, err := runDiff(flag.Args(), *nsTol, *allocTol, readReport)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep := Report{
 		Date:      *date,

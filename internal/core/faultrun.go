@@ -8,7 +8,6 @@ import (
 	"hybridmr/internal/faults"
 	"hybridmr/internal/mapreduce"
 	"hybridmr/internal/obs"
-	"hybridmr/internal/simclock"
 	"hybridmr/internal/sweep"
 	"hybridmr/internal/workload"
 )
@@ -174,12 +173,18 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 	strikesCap, parole := opt.blacklistDefaults()
 	fp := opt.Schedule.Fingerprint()
 
-	eng := simclock.New()
+	// The replay runs on pooled state: engine heap, simulators, job and
+	// attempt records all come back warm from earlier replays. The deferred
+	// release also runs on a watchdog panic, so an over-budget replay's
+	// half-consumed state is reset and recycled, not leaked.
+	rst := mapreduce.AcquireState()
+	defer mapreduce.ReleaseState(rst)
+	eng := rst.Engine()
 	if w := opt.Watchdog.Watchdog(nil); w != nil {
 		eng.SetWatchdog(w)
 	}
-	upSim := mapreduce.NewSimulatorOn(eng, h.Up)
-	outSim := mapreduce.NewSimulatorOn(eng, h.Out)
+	upSim := rst.Simulator(h.Up)
+	outSim := rst.Simulator(h.Out)
 	upSim.SetPolicy(h.Policy)
 	outSim.SetPolicy(h.Policy)
 	upSim.SetObserver(opt.Obs.Trace, opt.Obs.Metrics)
@@ -220,13 +225,20 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 		rerouted bool
 		attempts int
 	}
-	states := make(map[string]*state, len(jobs))
-	var results []JobResult
+	// One backing array for every job's state, indexed by arrival order.
+	// The index rides the submitted job's Tag and comes back in its Result,
+	// so tracking 6000 jobs costs one allocation and no hashing.
+	backing := make([]state, len(jobs))
+	for i := range jobs {
+		backing[i].job = jobs[i]
+	}
+	results := make([]JobResult, 0, len(jobs))
 	var bench [2]benchState // blacklist accounts, indexed by Target
 
-	var submit func(job workload.Job)
-	submit = func(job workload.Job) {
-		st := states[job.ID]
+	var submit func(idx int)
+	submit = func(idx int) {
+		st := &backing[idx]
+		job := st.job
 		st.attempts++
 		target := h.Sched.Decide(job)
 		dest := target
@@ -280,18 +292,18 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 				BenchUntil:      benchUntil,
 			})
 		}
+		mj := job.MapReduceJob()
+		mj.Tag = idx
 		if dest == ScaleUp {
-			upSim.SubmitNow(job.MapReduceJob())
+			upSim.SubmitNow(mj)
 		} else {
-			outSim.SubmitNow(job.MapReduceJob())
+			outSim.SubmitNow(mj)
 		}
 	}
 
 	record := func(r mapreduce.Result, now time.Duration) {
-		st, ok := states[r.Job.ID]
-		if !ok {
-			panic(fmt.Sprintf("core: result for unknown job %s", r.Job.ID))
-		}
+		idx := r.Job.Tag
+		st := &backing[idx]
 		if opt.Blacklist && r.Err != nil {
 			// The half the job actually failed on takes the strike.
 			b := &bench[st.dest]
@@ -309,7 +321,7 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 			// re-routed at its new arrival instant, so it sees the
 			// cluster's health then.
 			delay := backoff << (st.attempts - 1)
-			eng.After(delay, func(time.Duration) { submit(st.job) })
+			eng.After(delay, func(time.Duration) { submit(idx) })
 			return
 		}
 		// Time the job from its original arrival: queueing plus every
@@ -327,11 +339,7 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 	upSim.SetResultHook(record)
 	outSim.SetResultHook(record)
 
-	for _, job := range jobs {
-		job := job
-		states[job.ID] = &state{job: job}
-		eng.At(job.Submit, func(time.Duration) { submit(job) })
-	}
+	scheduleArrivals(eng, jobs, func(i int, _ workload.Job) { submit(i) })
 	eng.Run()
 	if opt.Stats != nil {
 		opt.Stats.Events = eng.Events()
@@ -427,7 +435,9 @@ func RunBaselineFaultedStats(p *mapreduce.Platform, jobs []workload.Job, policy 
 // callers convert into a typed per-point error via sweep.Protect. The zero
 // budget runs unguarded.
 func RunBaselineGuarded(p *mapreduce.Platform, jobs []workload.Job, policy mapreduce.Policy, events []faults.Event, inj Inject, stats *ReplayStats, budget sweep.Budget) ([]mapreduce.Result, error) {
-	sim := mapreduce.NewSimulator(p)
+	rst := mapreduce.AcquireState()
+	defer mapreduce.ReleaseState(rst)
+	sim := rst.Simulator(p)
 	if w := budget.Watchdog(nil); w != nil {
 		sim.Engine().SetWatchdog(w)
 	}
@@ -441,7 +451,11 @@ func RunBaselineGuarded(p *mapreduce.Platform, jobs []workload.Job, policy mapre
 	for _, j := range jobs {
 		sim.Submit(j.MapReduceJob())
 	}
-	rs := sim.Run()
+	// Copy the results out: the deferred release resets the simulator's
+	// internal buffer, which sim.Run returns a view of.
+	run := sim.Run()
+	rs := make([]mapreduce.Result, len(run))
+	copy(rs, run)
 	if stats != nil {
 		stats.Events = sim.Engine().Events()
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
@@ -84,9 +83,13 @@ func (h *Hybrid) Run(jobs []workload.Job) []JobResult {
 	if h.Sched == nil {
 		panic("core: hybrid has no scheduler")
 	}
-	eng := simclock.New()
-	upSim := mapreduce.NewSimulatorOn(eng, h.Up)
-	outSim := mapreduce.NewSimulatorOn(eng, h.Out)
+	// Pooled replay state: the engine heap, both simulators and their job
+	// and attempt records are reused across replays (mapreduce.ReplayState).
+	rst := mapreduce.AcquireState()
+	defer mapreduce.ReleaseState(rst)
+	eng := rst.Engine()
+	upSim := rst.Simulator(h.Up)
+	outSim := rst.Simulator(h.Out)
 	upSim.SetPolicy(h.Policy)
 	outSim.SetPolicy(h.Policy)
 
@@ -94,39 +97,42 @@ func (h *Hybrid) Run(jobs []workload.Job) []JobResult {
 		target   Target
 		diverted bool
 	}
-	decisions := make(map[string]decision, len(jobs))
-	for _, job := range jobs {
-		job := job
-		eng.At(job.Submit, func(now time.Duration) {
-			target := h.Sched.Decide(job)
-			dest := target
-			diverted := false
-			if h.Balance != nil {
-				if d := h.Balance.Divert(target, upSim, outSim); d != target {
-					dest, diverted = d, true
-				}
+	// Indexed by arrival order and recovered from the result's Job.Tag —
+	// no per-job map, no per-result hashing.
+	decisions := make([]decision, len(jobs))
+	scheduleArrivals(eng, jobs, func(i int, job workload.Job) {
+		target := h.Sched.Decide(job)
+		dest := target
+		diverted := false
+		if h.Balance != nil {
+			if d := h.Balance.Divert(target, upSim, outSim); d != target {
+				dest, diverted = d, true
 			}
-			// Target keeps the scheduler's choice; dest is where the
-			// job actually runs.
-			decisions[job.ID] = decision{target: target, diverted: diverted}
-			if dest == ScaleUp {
-				upSim.SubmitNow(job.MapReduceJob())
-			} else {
-				outSim.SubmitNow(job.MapReduceJob())
-			}
-		})
-	}
+		}
+		// Target keeps the scheduler's choice; dest is where the
+		// job actually runs.
+		decisions[i] = decision{target: target, diverted: diverted}
+		mj := job.MapReduceJob()
+		mj.Tag = i
+		if dest == ScaleUp {
+			upSim.SubmitNow(mj)
+		} else {
+			outSim.SubmitNow(mj)
+		}
+	})
 	eng.Run()
 
+	// Copy out of the simulators' internal buffers before the deferred
+	// release resets them. The final sort is a total order (job IDs are
+	// unique), so the half-concatenation order does not matter.
 	results := make([]JobResult, 0, len(jobs))
-	for _, r := range append(upSim.Results(), outSim.Results()...) {
-		d, ok := decisions[r.Job.ID]
-		if !ok {
-			panic(fmt.Sprintf("core: result for unknown job %s", r.Job.ID))
+	for _, half := range [2][]mapreduce.Result{upSim.Results(), outSim.Results()} {
+		for _, r := range half {
+			// Target records the scheduler's choice; Ran() derives the
+			// executing cluster when the balancer diverted the job.
+			d := decisions[r.Job.Tag]
+			results = append(results, JobResult{Result: r, Target: d.target, Diverted: d.diverted})
 		}
-		// Target records the scheduler's choice; Ran() derives the
-		// executing cluster when the balancer diverted the job.
-		results = append(results, JobResult{Result: r, Target: d.target, Diverted: d.diverted})
 	}
 	sort.Slice(results, func(i, j int) bool {
 		a, b := results[i], results[j]
@@ -138,14 +144,54 @@ func (h *Hybrid) Run(jobs []workload.Job) []JobResult {
 	return results
 }
 
+// scheduleArrivals schedules one arrival event per job, delivering each job
+// and its slice index to fn at its Submit instant. A Submit-sorted slice (the common case: the
+// workload generator emits monotone arrivals and the trace readers sort)
+// rides one shared cursor closure — queued events fire in the engine's
+// (at, seq) FIFO order, which equals slice order, so the i-th firing
+// delivers jobs[i]. An unsorted slice falls back to one closure per job;
+// either way the firing schedule is identical to the per-job-closure form.
+func scheduleArrivals(eng *simclock.Engine, jobs []workload.Job, fn func(int, workload.Job)) {
+	sorted := true
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Submit < jobs[i-1].Submit {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		for i, job := range jobs {
+			i, job := i, job
+			eng.At(job.Submit, func(time.Duration) { fn(i, job) })
+		}
+		return
+	}
+	next := 0
+	arrive := func(time.Duration) {
+		i := next
+		next++
+		fn(i, jobs[i])
+	}
+	for _, job := range jobs {
+		eng.At(job.Submit, arrive)
+	}
+}
+
 // RunBaseline executes the same workload on a single traditional platform
 // (THadoop or RHadoop in §V) under the given slot-sharing policy and
 // returns per-job results.
 func RunBaseline(p *mapreduce.Platform, jobs []workload.Job, policy mapreduce.Policy) []mapreduce.Result {
-	sim := mapreduce.NewSimulator(p)
+	rst := mapreduce.AcquireState()
+	defer mapreduce.ReleaseState(rst)
+	sim := rst.Simulator(p)
 	sim.SetPolicy(policy)
 	for _, j := range jobs {
 		sim.Submit(j.MapReduceJob())
 	}
-	return sim.Run()
+	// Copy out of the simulator's internal buffer before the deferred
+	// release resets it.
+	run := sim.Run()
+	rs := make([]mapreduce.Result, len(run))
+	copy(rs, run)
+	return rs
 }

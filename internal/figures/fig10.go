@@ -23,18 +23,17 @@ type TraceResult struct {
 
 // RunTrace executes the trace experiment: the workload on the hybrid and on
 // the two 24-machine baselines, under the Fair scheduler. The three replays
-// are independent whole-cluster simulations — each builds its own simclock
-// engine over the shared read-only job slice — so they run concurrently on
-// the process-wide sweep runner's worker pool.
+// are independent whole-cluster simulations — each runs on its own pooled
+// replay state over the shared read-only job slice — so they run concurrently
+// on the process-wide sweep runner's worker pool. The trace and the
+// architectures come from the memoized shared setup (setup.go): a repeated
+// render with the same calibration and config skips regeneration entirely.
 func RunTrace(cal mapreduce.Calibration, cfg workload.Config) (*TraceResult, error) {
-	jobs, err := workload.Generate(cfg)
+	setup, err := SharedSetup(cal, cfg)
 	if err != nil {
 		return nil, err
 	}
-	hybrid, err := core.NewHybrid(cal)
-	if err != nil {
-		return nil, err
-	}
+	jobs, hybrid := setup.Jobs, setup.Hybrid
 	upJobs, _ := hybrid.Sched.Classify(jobs)
 	tr := &TraceResult{
 		Jobs:    jobs,
@@ -51,12 +50,8 @@ func RunTrace(cal mapreduce.Calibration, cfg workload.Config) (*TraceResult, err
 		into map[string]float64
 		run  func() ([]mapreduce.Result, error)
 	}
-	baseline := func(build func(mapreduce.Calibration) (*mapreduce.Platform, error)) func() ([]mapreduce.Result, error) {
+	baseline := func(p *mapreduce.Platform) func() ([]mapreduce.Result, error) {
 		return func() ([]mapreduce.Result, error) {
-			p, err := build(cal)
-			if err != nil {
-				return nil, err
-			}
 			return core.RunBaseline(p, jobs, mapreduce.Fair), nil
 		}
 	}
@@ -69,8 +64,8 @@ func RunTrace(cal mapreduce.Calibration, cfg workload.Config) (*TraceResult, err
 			}
 			return out, nil
 		}},
-		{"THadoop", tr.THadoop, baseline(mapreduce.NewTHadoop)},
-		{"RHadoop", tr.RHadoop, baseline(mapreduce.NewRHadoop)},
+		{"THadoop", tr.THadoop, baseline(setup.THadoop)},
+		{"RHadoop", tr.RHadoop, baseline(setup.RHadoop)},
 	}
 	type outcome struct {
 		results []mapreduce.Result

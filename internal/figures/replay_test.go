@@ -2,6 +2,8 @@ package figures
 
 import (
 	"testing"
+	"testing/quick"
+	"time"
 
 	"hybridmr/internal/core"
 	"hybridmr/internal/faults"
@@ -51,5 +53,43 @@ func TestReplayDeterminism(t *testing.T) {
 	}
 	if faulted1 != faulted2 {
 		t.Errorf("faulted trace replay diverged between runs:\nrun1:\n%s\nrun2:\n%s", faulted1, faulted2)
+	}
+}
+
+// TestResilienceWorkerCountProperty: the rendered resilience report is
+// independent of the sweep runner's worker count — any w in [1, 8] must
+// render byte-identically to the serial (w=1) run. Randomizing w (rather
+// than pinning two counts) gives every interleaving of the 5 concurrent
+// pooled replays a chance to expose order-sensitive state sharing.
+func TestResilienceWorkerCountProperty(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Jobs = 300
+	cfg.Duration = 72 * time.Minute // keep the full trace's arrival rate
+	jobs, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	inj := core.Inject{FailureRate: 0.01, StragglerFrac: 0.1, Speculate: true, Seed: 5}
+
+	old := sweep.Default()
+	defer sweep.SetDefault(old)
+
+	render := func(workers int) string {
+		t.Helper()
+		sweep.SetDefault(sweep.New(workers))
+		r, err := RunResilienceJobs(cal(), jobs, faults.Demo(), inj)
+		if err != nil {
+			t.Fatalf("RunResilienceJobs(workers=%d): %v", workers, err)
+		}
+		return r.Render()
+	}
+	serial := render(1)
+
+	f := func(v uint8) bool {
+		w := 1 + int(v%8)
+		return render(w) == serial
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
 	}
 }

@@ -124,10 +124,14 @@ func RunResilienceObserved(cal mapreduce.Calibration, jobs []workload.Job, sched
 // RunResilienceOpts is RunResilienceObserved with the robustness extras:
 // optional blacklist+cloning replay and a per-replay watchdog budget.
 func RunResilienceOpts(cal mapreduce.Calibration, jobs []workload.Job, sched *faults.Schedule, inj core.Inject, o obs.Set, runner *sweep.Runner, opts ResilienceOpts) (*Resilience, error) {
-	hybrid, err := core.NewHybrid(cal)
+	// The hybrid and both baseline platforms are the report's shared prefix:
+	// memoized per calibration (setup.go) and read-only, so all 5–7
+	// concurrent replays share one assembly instead of rebuilding it.
+	arch, err := SharedArches(cal)
 	if err != nil {
 		return nil, err
 	}
+	hybrid := arch.Hybrid
 	if runner == nil {
 		runner = sweep.Default()
 	}
@@ -158,12 +162,8 @@ func RunResilienceOpts(cal mapreduce.Calibration, jobs []workload.Job, sched *fa
 		}
 		return out
 	}
-	baseline := func(build func(mapreduce.Calibration) (*mapreduce.Platform, error)) func() ([]jobOutcome, uint64, error) {
+	baseline := func(p *mapreduce.Platform) func() ([]jobOutcome, uint64, error) {
 		return func() ([]jobOutcome, uint64, error) {
-			p, err := build(cal)
-			if err != nil {
-				return nil, 0, err
-			}
 			var st core.ReplayStats
 			rs, err := core.RunBaselineGuarded(p, jobs, mapreduce.Fair, sched.ForBaseline(), inj, &st, opts.Watchdog)
 			if err != nil {
@@ -193,8 +193,8 @@ func RunResilienceOpts(cal mapreduce.Calibration, jobs []workload.Job, sched *fa
 	}{
 		{"Hybrid-FA", &res.FailureAware, hybridRun(core.FaultRun{Schedule: sched, Inject: inj, FailureAware: true, Runner: runner, Obs: o})},
 		{"Hybrid-static", &res.Static, hybridRun(core.FaultRun{Schedule: sched, Inject: inj})},
-		{"THadoop", &res.THadoop, baseline(mapreduce.NewTHadoop)},
-		{"RHadoop", &res.RHadoop, baseline(mapreduce.NewRHadoop)},
+		{"THadoop", &res.THadoop, baseline(arch.THadoop)},
+		{"RHadoop", &res.RHadoop, baseline(arch.RHadoop)},
 		{"Hybrid-clean", &res.Clean, hybridRun(core.FaultRun{})},
 	}
 	if opts.FABlacklist {

@@ -325,7 +325,7 @@ func (s *Simulator) killAttempts(isMap bool, n int, now time.Duration) int {
 			if !run.failed && !paired {
 				// A crash kill is Hadoop's KILLED, not FAILED: it
 				// does not count against the task's max attempts.
-				run.pendingMapIDs = append(run.pendingMapIDs, att.taskID)
+				run.pushTask(kMap, att.taskID)
 				s.queuedMaps++
 				run.retries++
 				s.traceRetry(run, att.taskID, true, now, "killed")
@@ -334,12 +334,16 @@ func (s *Simulator) killAttempts(isMap bool, n int, now time.Duration) int {
 		} else {
 			run.runningReds--
 			if !run.failed && !paired {
-				run.pendingRedIDs = append(run.pendingRedIDs, att.taskID)
+				run.pushTask(kRed, att.taskID)
 				run.retries++
 				s.traceRetry(run, att.taskID, false, now, "killed")
 			}
 			s.touch(kRed, run)
 		}
+		// A failed job's run recycles with its last drained attempt; any
+		// co-victims of the same run in this batch still hold a running
+		// count each, so the recycle happens on the batch's last one.
+		s.retireFailed(run)
 	}
 	return len(victims)
 }
@@ -360,7 +364,7 @@ func (s *Simulator) loseCompletedMaps(k, avail int) int {
 		for i := 0; i < lost; i++ {
 			id := run.doneMapIDs[len(run.doneMapIDs)-1]
 			run.doneMapIDs = run.doneMapIDs[:len(run.doneMapIDs)-1]
-			run.pendingMapIDs = append(run.pendingMapIDs, id)
+			run.pushTask(kMap, id)
 		}
 		s.queuedMaps += lost
 		run.mapsDone -= lost

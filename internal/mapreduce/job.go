@@ -39,6 +39,10 @@ type Job struct {
 	// runs one map per file smaller than a block: FB-2009 jobs average
 	// on the order of a hundred map tasks even at modest byte counts.
 	MapTasks int
+	// Tag is an opaque caller token carried through to the job's Result
+	// (which embeds the Job). The simulator never reads it; the hybrid
+	// replay uses it to index its per-job bookkeeping without a map.
+	Tag int
 }
 
 // Validate reports job configuration errors.

@@ -23,6 +23,36 @@ type Platform struct {
 	FS storage.System
 	// Cal is the cost-model calibration.
 	Cal Calibration
+
+	// names interns the platform-prefixed metric names once at construction,
+	// so every SetObserver attach reuses them instead of re-concatenating
+	// (the simulators of a pooled ReplayState re-attach per replay).
+	names *obsNames
+}
+
+// obsNames holds one platform's interned metric names (see SetObserver).
+type obsNames struct {
+	mapsStarted, redsStarted, taskRetries   string
+	jobsDone, jobsFailed                    string
+	bytesInput, bytesShuffle                string
+	mapBusy, redBusy, mapQueue, execSeconds string
+}
+
+// newObsNames builds the platform-prefixed metric name set.
+func newObsNames(name string) *obsNames {
+	return &obsNames{
+		mapsStarted:  name + ".tasks.map.started",
+		redsStarted:  name + ".tasks.reduce.started",
+		taskRetries:  name + ".tasks.retries",
+		jobsDone:     name + ".jobs.done",
+		jobsFailed:   name + ".jobs.failed",
+		bytesInput:   name + ".bytes.input",
+		bytesShuffle: name + ".bytes.shuffle",
+		mapBusy:      name + ".slots.map.busy",
+		redBusy:      name + ".slots.reduce.busy",
+		mapQueue:     name + ".queue.map.depth",
+		execSeconds:  name + ".job.exec.seconds",
+	}
 }
 
 // NewPlatform validates and assembles a platform.
@@ -39,7 +69,7 @@ func NewPlatform(name string, spec cluster.Spec, fs storage.System, cal Calibrat
 	if err := cal.Validate(); err != nil {
 		return nil, err
 	}
-	return &Platform{Name: name, Spec: spec, FS: fs, Cal: cal}, nil
+	return &Platform{Name: name, Spec: spec, FS: fs, Cal: cal, names: newObsNames(name)}, nil
 }
 
 // Degraded returns the platform with machinesDown compute machines and

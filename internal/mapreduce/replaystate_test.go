@@ -1,0 +1,178 @@
+package mapreduce
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/faults"
+	"hybridmr/internal/simclock"
+	"hybridmr/internal/units"
+)
+
+// replayScenario is one randomized replay: a workload plus the knobs that
+// exercise every pooled structure — policy (ready-set heaps), fault schedule
+// (attempt kills, degraded views), and injection (retries, stragglers,
+// speculative clones).
+type replayScenario struct {
+	Seeds     []uint32
+	Fair      bool
+	Crash     uint8
+	Failure   uint8
+	Jitter    uint8
+	Speculate bool
+}
+
+// run replays the scenario on the given simulator and returns its results.
+func (sc replayScenario) run(t testing.TB, sim *Simulator) []Result {
+	t.Helper()
+	if sc.Fair {
+		sim.SetPolicy(Fair)
+	}
+	if n := int(sc.Crash % 4); n > 0 {
+		if err := sim.ScheduleFaults([]faults.Event{
+			{At: 20 * time.Minute, Kind: faults.MachineCrash, Cluster: faults.ClusterOut, Count: n},
+			{At: 3 * time.Hour, Kind: faults.MachineRecover, Cluster: faults.ClusterOut, Count: n},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rate := float64(sc.Failure%3) * 0.01; rate > 0 {
+		if err := sim.InjectFailures(rate, 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if frac := float64(sc.Jitter%3) * 0.1; frac > 0 {
+		if err := sim.InjectStragglers(frac, sc.Speculate, 43); err != nil {
+			t.Fatal(err)
+		}
+	}
+	profiles := []apps.Profile{apps.Wordcount(), apps.Grep(), apps.Sort(), apps.DFSIOWrite()}
+	for i, s := range sc.Seeds {
+		sim.Submit(Job{
+			ID:     string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			App:    profiles[int(s)%len(profiles)],
+			Input:  units.Bytes(s)*units.MB%(8*units.GB) + units.KB,
+			Submit: time.Duration(s%600) * time.Second,
+		})
+	}
+	return sim.Run()
+}
+
+// TestReplayStateEquivalenceProperty is the reuse contract as a property:
+// for any workload, policy, fault schedule and injection mix, a replay on a
+// Reset() ReplayState — dirtied by a previous, different replay — produces
+// results identical to the same replay on a fresh simulator.
+func TestReplayStateEquivalenceProperty(t *testing.T) {
+	p := MustArch(OutOFS, DefaultCalibration())
+	st := NewReplayState()
+	f := func(sc replayScenario, dirty replayScenario) bool {
+		if len(sc.Seeds) == 0 || len(sc.Seeds) > 30 || len(dirty.Seeds) > 20 {
+			return true
+		}
+		// Dirty the pooled state with an unrelated replay, then reset it.
+		dirty.run(t, st.Simulator(p))
+		st.Reset()
+
+		want := sc.run(t, NewSimulator(p))
+		got := sc.run(t, st.Simulator(p))
+		// Compare before Reset: Run returns the simulator's internal buffer,
+		// which Reset clears — the same copy-before-release contract the
+		// replay entry points follow.
+		equal := reflect.DeepEqual(got, want)
+		st.Reset()
+		return equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReplayStateResetAfterAbandonedRun pins the watchdog-unwind path: a
+// replay aborted mid-flight by an event budget leaves runs and attempts in
+// flight, and Reset must reclaim them all so the next replay on the same
+// state is still identical to a fresh one.
+func TestReplayStateResetAfterAbandonedRun(t *testing.T) {
+	p := MustArch(OutOFS, DefaultCalibration())
+	sc := replayScenario{Seeds: []uint32{7, 19, 3, 250, 77, 41, 960, 12}, Fair: true, Jitter: 1, Speculate: true}
+	want := sc.run(t, NewSimulator(p))
+
+	st := NewReplayState()
+	st.Engine().SetWatchdog(&simclock.Watchdog{MaxEvents: 40})
+	func() {
+		defer func() {
+			if _, ok := recover().(*simclock.BudgetError); !ok {
+				t.Fatal("watchdog did not fire mid-replay")
+			}
+		}()
+		sc.run(t, st.Simulator(p))
+	}()
+	st.Reset()
+
+	if got := sc.run(t, st.Simulator(p)); !reflect.DeepEqual(got, want) {
+		t.Error("replay after abandoned run differs from fresh replay")
+	}
+}
+
+// TestStatePoolRecycles pins the pool mechanics: Release resets the state
+// and hands the same object back to the next Acquire, and an acquired state
+// is pristine (no pending events, clock at zero, no stale results).
+func TestStatePoolRecycles(t *testing.T) {
+	var pool StatePool
+	st := pool.Acquire()
+	p := MustArch(OutOFS, DefaultCalibration())
+	sim := st.Simulator(p)
+	sim.Submit(Job{ID: "j", App: apps.Grep(), Input: units.GB})
+	if res := sim.Run(); len(res) != 1 {
+		t.Fatalf("replay returned %d results", len(res))
+	}
+	pool.Release(st)
+
+	again := pool.Acquire()
+	if again != st {
+		t.Error("pool did not recycle the released state")
+	}
+	if n := again.Engine().Pending(); n != 0 {
+		t.Errorf("recycled state has %d pending events", n)
+	}
+	if now := again.Engine().Now(); now != 0 {
+		t.Errorf("recycled state's clock at %v, want 0", now)
+	}
+	sim2 := again.Simulator(p)
+	if sim2 != sim {
+		t.Error("reset state did not recycle its simulator shell")
+	}
+	if got := len(sim2.Results()); got != 0 {
+		t.Errorf("recycled simulator holds %d stale results", got)
+	}
+}
+
+// TestReplayStateSharedEngine pins the hybrid shape: two simulators on one
+// state share the clock, and the pair replays identically after a Reset.
+func TestReplayStateSharedEngine(t *testing.T) {
+	up := MustArch(UpOFS, DefaultCalibration())
+	out := MustArch(OutOFS, DefaultCalibration())
+	jobA := Job{ID: "a", App: apps.Wordcount(), Input: 2 * units.GB}
+	jobB := Job{ID: "b", App: apps.Sort(), Input: 32 * units.GB, Submit: time.Minute}
+
+	replay := func(st *ReplayState) (Result, Result) {
+		upSim, outSim := st.Simulator(up), st.Simulator(out)
+		upSim.Submit(jobA)
+		outSim.Submit(jobB)
+		st.Engine().Run()
+		return upSim.Results()[0], outSim.Results()[0]
+	}
+
+	st := NewReplayState()
+	a1, b1 := replay(st)
+	st.Reset()
+	a2, b2 := replay(st)
+	if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(b1, b2) {
+		t.Error("shared-engine replay differs after Reset")
+	}
+	if a1.Platform != "up-OFS" || b1.Platform != "out-OFS" {
+		t.Errorf("results bound to wrong platforms: %s, %s", a1.Platform, b1.Platform)
+	}
+}

@@ -82,12 +82,13 @@ type Simulator struct {
 	jitterFrac  float64
 	speculative bool
 	jitterRNG   *stats.RNG
+	jitterVar   stats.LogUniformVar
 
 	// Utilization accounting: slot-seconds integrated over simulated time,
 	// O(1) per slot-count transition (no rescan of active jobs).
 	lastChange time.Duration
-	mapSlotSec float64
-	redSlotSec float64
+	mapSlotNs  int64
+	redSlotNs  int64
 
 	// Fault injection (faultsim.go): current machine/storage losses, the
 	// memoized degraded platform views jobs are planned against, and the
@@ -99,6 +100,20 @@ type Simulator struct {
 	inflight     []*attempt
 	attemptSeq   uint64
 	attemptFree  []*attempt
+
+	// jobFree recycles jobRun records: a completed (or fully drained
+	// failed) job's run returns here and the next arrival reuses it, so
+	// steady-state job traffic allocates no per-job state (replaystate.go).
+	jobFree []*jobRun
+
+	// Arrival queue: monotone submissions ride one shared event instead of
+	// a per-job closure. Queued arrivals fire in (at, seq) order, which is
+	// exactly queue order, so nextArrival pops arrivals[arriveNext]; a job
+	// submitted out of order (behind lastQueued) falls back to a closure.
+	arrivals   []Job
+	arriveNext int
+	arriveFn   simclock.Event
+	lastQueued time.Duration
 
 	// Gray degradation (graysim.go): the per-stream attempt-level slowdown
 	// weights (1 = clean), the planning-level network factors, the
@@ -143,6 +158,7 @@ func NewSimulatorOn(eng *simclock.Engine, p *Platform) *Simulator {
 	}
 	s.ready[kMap].kind = kMap
 	s.ready[kRed].kind = kRed
+	s.arriveFn = s.nextArrival
 	return s
 }
 
@@ -185,6 +201,9 @@ func (s *Simulator) InjectStragglers(frac float64, speculate bool, seed int64) e
 	s.jitterFrac = frac
 	s.speculative = speculate
 	s.jitterRNG = stats.NewRNG(seed)
+	if frac > 0 {
+		s.jitterVar = stats.NewLogUniformVar(1/(1+frac), 1+frac)
+	}
 	return nil
 }
 
@@ -193,8 +212,7 @@ func (s *Simulator) jitterDuration(d time.Duration) time.Duration {
 	if s.jitterFrac <= 0 {
 		return d
 	}
-	lo, hi := 1/(1+s.jitterFrac), 1+s.jitterFrac
-	f := s.jitterRNG.LogUniform(lo, hi)
+	f := s.jitterVar.Sample(s.jitterRNG)
 	if s.speculative {
 		// A backup attempt caps how slow the task can effectively
 		// be: once the original exceeds SpeculationCap× the typical
@@ -213,7 +231,34 @@ func (s *Simulator) Policy() Policy { return s.policy }
 // Submit schedules a job at its Submit time. It must be called before Run.
 func (s *Simulator) Submit(job Job) {
 	s.running++
+	if job.Submit >= s.lastQueued {
+		// Monotone arrival (the common case: traces are sorted by Submit
+		// and SubmitNow tracks the advancing clock): enqueue the job and
+		// schedule the shared arrival event — no per-job closure. Queued
+		// events fire in (at, seq) FIFO order, which equals queue order,
+		// so the i-th firing starts the i-th queued job; a closure-path
+		// job interleaving at the same instant keeps its own seq slot,
+		// leaving the relative order identical to per-job closures.
+		s.lastQueued = job.Submit
+		s.arrivals = append(s.arrivals, job)
+		s.eng.At(job.Submit, s.arriveFn)
+		return
+	}
 	s.eng.At(job.Submit, func(now time.Duration) { s.startJob(job, now) })
+}
+
+// nextArrival is the shared arrival event: it pops the next queued job and
+// starts it. The vacated slot is cleared so the job's strings are released,
+// and the queue rewinds to reuse its capacity once drained.
+func (s *Simulator) nextArrival(now time.Duration) {
+	job := s.arrivals[s.arriveNext]
+	s.arrivals[s.arriveNext] = Job{}
+	s.arriveNext++
+	if s.arriveNext == len(s.arrivals) {
+		s.arrivals = s.arrivals[:0]
+		s.arriveNext = 0
+	}
+	s.startJob(job, now)
 }
 
 // SubmitAll submits every job in the slice.
@@ -272,10 +317,9 @@ func (s *Simulator) MapSlotCapacity() int { return s.capMap }
 // before any slot-count change. O(1) per transition: only the elapsed
 // interval and the current busy counts are read, never the job list.
 func (s *Simulator) accrue(now time.Duration) {
-	dt := (now - s.lastChange).Seconds()
-	if dt > 0 {
-		s.mapSlotSec += dt * float64(s.capMap-s.freeMap)
-		s.redSlotSec += dt * float64(s.capRed-s.freeRed)
+	if dt := int64(now - s.lastChange); dt > 0 {
+		s.mapSlotNs += dt * int64(s.capMap-s.freeMap)
+		s.redSlotNs += dt * int64(s.capRed-s.freeRed)
 		s.lastChange = now
 	}
 }
@@ -288,31 +332,50 @@ func (s *Simulator) Utilization() (mapUtil, redUtil float64) {
 	if total <= 0 {
 		return 0, 0
 	}
-	return s.mapSlotSec / (total * float64(s.capMap)),
-		s.redSlotSec / (total * float64(s.capRed))
+	return float64(s.mapSlotNs) / 1e9 / (total * float64(s.capMap)),
+		float64(s.redSlotNs) / 1e9 / (total * float64(s.capRed))
 }
 
-// jobRun tracks one in-flight job.
+// jobRun tracks one in-flight job. Runs are pooled: completeJob (and the
+// last attempt drain of a failed job) returns the record to the simulator's
+// freelist, and the next arrival reuses it, so steady-state job traffic
+// allocates nothing per job.
 type jobRun struct {
+	sim    *Simulator
 	job    Job
 	pl     plan
 	seq    int // submission order, for FIFO and tie-breaks
 	submit time.Duration
 	start  time.Duration
 
-	pendingMapIDs, pendingRedIDs []int // logical task indices awaiting a slot
-	doneMapIDs                   []int // completed maps, re-queued on machine loss
-	runningMaps, runningReds     int
-	mapsDone, redsDone           int
-	shuffling                    bool
-	attempts                     map[int]int // failed attempts per logical task
-	failed                       bool
-	retries                      int
+	// Pending-task bookkeeping. The former pendingMapIDs/pendingRedIDs
+	// slices held [base, base+n) and popped from the end; the counter
+	// representation reproduces that order with no per-job allocation:
+	// initial IDs are issued by counting initX down (base+initX-1 first),
+	// and re-queued IDs (crash kills, injected failures, lost map outputs)
+	// pop LIFO from the reqX stacks first — exactly the old end-pop order.
+	initMaps, initReds int
+	reqMaps, reqReds   []int
+
+	doneMapIDs               []int // completed maps, re-queued on machine loss
+	runningMaps, runningReds int
+	mapsDone, redsDone       int
+	shuffling                bool
+	attempts                 map[int]int // failed attempts per logical task
+	failed                   bool
+	retries                  int
 
 	firstMapAt  time.Duration
 	startedMap  bool
 	lastMapDone time.Duration
 	shuffleDone time.Duration
+
+	// setupFn and shuffleFn are the bound setupDone/shuffleFire methods,
+	// created once per jobRun object and reused across recycles, so a job
+	// start and a map-phase end schedule their follow-ups without
+	// allocating a closure (the same trick attempt.fireFn uses).
+	setupFn   simclock.Event
+	shuffleFn simclock.Event
 
 	// Dispatch-index linkage, one slot per task kind. activeIdx is the
 	// job's position in Simulator.active; next/prev/inList are the FIFO
@@ -327,9 +390,98 @@ type jobRun struct {
 // pendingLen returns the job's pending-task count of one kind.
 func (r *jobRun) pendingLen(kind int) int {
 	if kind == kMap {
-		return len(r.pendingMapIDs)
+		return r.initMaps + len(r.reqMaps)
 	}
-	return len(r.pendingRedIDs)
+	return r.initReds + len(r.reqReds)
+}
+
+// popTask issues the next pending task ID of one kind: re-queued IDs first
+// (LIFO), then the initial range counting down — byte-identical to popping
+// the former pending-ID slice from the end.
+func (r *jobRun) popTask(kind int) int {
+	if kind == kMap {
+		if n := len(r.reqMaps); n > 0 {
+			id := r.reqMaps[n-1]
+			r.reqMaps = r.reqMaps[:n-1]
+			return id
+		}
+		r.initMaps--
+		return r.initMaps
+	}
+	if n := len(r.reqReds); n > 0 {
+		id := r.reqReds[n-1]
+		r.reqReds = r.reqReds[:n-1]
+		return id
+	}
+	r.initReds--
+	return r.pl.mapTasks + r.initReds
+}
+
+// pushTask re-queues a task ID (failure retry, crash kill, lost map output).
+func (r *jobRun) pushTask(kind, id int) {
+	if kind == kMap {
+		r.reqMaps = append(r.reqMaps, id)
+	} else {
+		r.reqReds = append(r.reqReds, id)
+	}
+}
+
+// newJobRun acquires a run record for a starting job, reusing a recycled one
+// when the freelist has it. The bound setup/shuffle events are created once
+// per object; everything else is (re)initialized here.
+func (s *Simulator) newJobRun(job Job, pl plan) *jobRun {
+	var run *jobRun
+	if n := len(s.jobFree); n > 0 {
+		run = s.jobFree[n-1]
+		s.jobFree[n-1] = nil
+		s.jobFree = s.jobFree[:n-1]
+	} else {
+		run = &jobRun{}
+		run.setupFn = run.setupDone
+		run.shuffleFn = run.shuffleFire
+	}
+	s.seq++
+	run.sim, run.job, run.pl, run.seq, run.submit = s, job, pl, s.seq, job.Submit
+	return run
+}
+
+// recycleJob returns a drained run to the freelist. Only completeJob and
+// retireFailed may call it: at those points no attempt, ready set, active
+// slot or pending engine event references the run (killed and superseded
+// attempts draining stale timers keep the pointer but never dereference it).
+func (s *Simulator) recycleJob(run *jobRun) {
+	run.sim = nil
+	run.job = Job{}
+	run.pl = plan{}
+	run.seq = 0
+	run.submit, run.start = 0, 0
+	run.initMaps, run.initReds = 0, 0
+	run.reqMaps = run.reqMaps[:0]
+	run.reqReds = run.reqReds[:0]
+	run.doneMapIDs = run.doneMapIDs[:0]
+	run.runningMaps, run.runningReds = 0, 0
+	run.mapsDone, run.redsDone = 0, 0
+	run.shuffling = false
+	clear(run.attempts)
+	run.failed = false
+	run.retries = 0
+	run.firstMapAt, run.startedMap = 0, false
+	run.lastMapDone, run.shuffleDone = 0, 0
+	// The dispatch linkage is already clean — removeActive, listRemove and
+	// heapRemove reset their back-pointers — so only activeIdx needs its
+	// absent sentinel.
+	run.activeIdx = -1
+	s.jobFree = append(s.jobFree, run)
+}
+
+// retireFailed recycles a failed job's run once its last in-flight attempt
+// has drained. runningMaps+runningReds counts exactly the attempts (clones
+// included) still referencing the run, so zero means no live reference
+// remains; failJob emptied the pending sets and removed the active slot.
+func (s *Simulator) retireFailed(run *jobRun) {
+	if run.failed && run.runningMaps == 0 && run.runningReds == 0 {
+		s.recycleJob(run)
+	}
 }
 
 // runningOf returns the job's running-task count of one kind (Fair's key).
@@ -541,21 +693,41 @@ func (s *Simulator) startJob(job Job, now time.Duration) {
 		s.finish(Result{Job: job, Platform: s.platform.Name, Submit: job.Submit, Err: err}, now)
 		return
 	}
-	s.seq++
-	run := &jobRun{job: job, pl: pl, seq: s.seq, submit: job.Submit}
-	// Job setup (staging, setup task) precedes the first map launch.
+	run := s.newJobRun(job, pl)
+	// Job setup (staging, setup task) precedes the first map launch; the
+	// bound setupFn is the run's own, so scheduling it allocates nothing.
 	s.setupMaps += pl.mapTasks
-	s.eng.After(pl.overhead, func(now time.Duration) {
-		s.setupMaps -= pl.mapTasks
-		run.start = now
-		s.obsv.trace.Span(s.obsv.track, run.job.ID, "setup", run.submit, now)
-		run.pendingMapIDs = taskIDs(0, pl.mapTasks)
-		s.queuedMaps += pl.mapTasks
-		run.activeIdx = len(s.active)
-		s.active = append(s.active, run)
-		s.touch(kMap, run)
-		s.dispatch(now)
-	})
+	s.eng.After(pl.overhead, run.setupFn)
+}
+
+// setupDone ends the job's setup phase: its map tasks become pending and the
+// job joins the active set. Bound once per jobRun as setupFn.
+func (r *jobRun) setupDone(now time.Duration) {
+	s := r.sim
+	s.setupMaps -= r.pl.mapTasks
+	r.start = now
+	s.obsv.trace.Span(s.obsv.track, r.job.ID, "setup", r.submit, now)
+	r.initMaps = r.pl.mapTasks
+	s.queuedMaps += r.pl.mapTasks
+	r.activeIdx = len(s.active)
+	s.active = append(s.active, r)
+	s.touch(kMap, r)
+	s.dispatch(now)
+}
+
+// shuffleFire ends the shuffle phase: the reduce tasks become pending. Bound
+// once per jobRun as shuffleFn; it fires exactly once per job lifecycle —
+// mapsDone cannot regress during the shuffle window (loseCompletedMaps skips
+// jobs already past their map phase), so the event is never double-armed.
+func (r *jobRun) shuffleFire(now time.Duration) {
+	s := r.sim
+	r.shuffling = false
+	r.shuffleDone = now
+	s.obsv.trace.Span(s.obsv.track, r.job.ID, "shuffle", r.lastMapDone, now)
+	// Reduce task ids follow the map ids.
+	r.initReds = r.pl.reducers
+	s.touch(kRed, r)
+	s.dispatch(now)
 }
 
 // dispatch hands out free slots until none remain or nothing is runnable.
@@ -581,8 +753,7 @@ func (s *Simulator) dispatch(now time.Duration) {
 func (s *Simulator) startMapTask(run *jobRun, now time.Duration) {
 	s.accrue(now)
 	s.freeMap--
-	taskID := run.pendingMapIDs[len(run.pendingMapIDs)-1]
-	run.pendingMapIDs = run.pendingMapIDs[:len(run.pendingMapIDs)-1]
+	taskID := run.popTask(kMap)
 	s.queuedMaps--
 	run.runningMaps++
 	s.obsv.mapsStarted.Inc()
@@ -605,7 +776,7 @@ func (s *Simulator) mapTaskDone(run *jobRun, taskID int, now time.Duration) {
 	if s.attemptFails() && !run.failed {
 		if s.recordFailure(run, taskID) {
 			// Re-execute: the task goes back to pending.
-			run.pendingMapIDs = append(run.pendingMapIDs, taskID)
+			run.pushTask(kMap, taskID)
 			s.queuedMaps++
 			run.retries++
 			s.traceRetry(run, taskID, true, now, "failed")
@@ -619,6 +790,7 @@ func (s *Simulator) mapTaskDone(run *jobRun, taskID int, now time.Duration) {
 	}
 	if run.failed {
 		s.touch(kMap, run)
+		s.retireFailed(run)
 		s.dispatch(now)
 		return
 	}
@@ -629,15 +801,7 @@ func (s *Simulator) mapTaskDone(run *jobRun, taskID int, now time.Duration) {
 		run.lastMapDone = now
 		run.shuffling = true
 		s.obsv.trace.Span(s.obsv.track, run.job.ID, "map", run.firstMapAt, now)
-		s.eng.After(run.pl.shuffle, func(now time.Duration) {
-			run.shuffling = false
-			run.shuffleDone = now
-			s.obsv.trace.Span(s.obsv.track, run.job.ID, "shuffle", run.lastMapDone, now)
-			// Reduce task ids follow the map ids.
-			run.pendingRedIDs = taskIDs(run.pl.mapTasks, run.pl.reducers)
-			s.touch(kRed, run)
-			s.dispatch(now)
-		})
+		s.eng.After(run.pl.shuffle, run.shuffleFn)
 	}
 	s.dispatch(now)
 }
@@ -645,8 +809,7 @@ func (s *Simulator) mapTaskDone(run *jobRun, taskID int, now time.Duration) {
 func (s *Simulator) startReduceTask(run *jobRun, now time.Duration) {
 	s.accrue(now)
 	s.freeRed--
-	taskID := run.pendingRedIDs[len(run.pendingRedIDs)-1]
-	run.pendingRedIDs = run.pendingRedIDs[:len(run.pendingRedIDs)-1]
+	taskID := run.popTask(kRed)
 	run.runningReds++
 	s.obsv.redsStarted.Inc()
 	s.touch(kRed, run)
@@ -662,7 +825,7 @@ func (s *Simulator) redTaskDone(run *jobRun, taskID int, now time.Duration) {
 	run.runningReds--
 	if s.attemptFails() && !run.failed {
 		if s.recordFailure(run, taskID) {
-			run.pendingRedIDs = append(run.pendingRedIDs, taskID)
+			run.pushTask(kRed, taskID)
 			run.retries++
 			s.traceRetry(run, taskID, false, now, "failed")
 			s.touch(kRed, run)
@@ -675,6 +838,7 @@ func (s *Simulator) redTaskDone(run *jobRun, taskID int, now time.Duration) {
 	}
 	if run.failed {
 		s.touch(kRed, run)
+		s.retireFailed(run)
 		s.dispatch(now)
 		return
 	}
@@ -684,15 +848,6 @@ func (s *Simulator) redTaskDone(run *jobRun, taskID int, now time.Duration) {
 		s.completeJob(run, now)
 	}
 	s.dispatch(now)
-}
-
-// taskIDs returns the id range [base, base+n).
-func taskIDs(base, n int) []int {
-	ids := make([]int, n)
-	for i := range ids {
-		ids[i] = base + i
-	}
-	return ids
 }
 
 // recordFailure counts one failed attempt of a task and reports whether the
@@ -712,9 +867,10 @@ func (s *Simulator) failJob(run *jobRun, now time.Duration, phase string) {
 		return
 	}
 	run.failed = true
-	s.queuedMaps -= len(run.pendingMapIDs)
-	run.pendingMapIDs = nil
-	run.pendingRedIDs = nil
+	s.queuedMaps -= run.pendingLen(kMap)
+	run.initMaps, run.initReds = 0, 0
+	run.reqMaps = run.reqMaps[:0]
+	run.reqReds = run.reqReds[:0]
 	s.traceJobFailed(run, now, phase)
 	s.touch(kMap, run)
 	s.touch(kRed, run)
@@ -728,6 +884,7 @@ func (s *Simulator) failJob(run *jobRun, now time.Duration, phase string) {
 		Exec:     now - run.submit,
 		Err:      fmt.Errorf("mapreduce: job %s: %s task exceeded %d attempts", run.job.ID, phase, s.platform.Cal.MaxTaskAttempts),
 	}, now)
+	s.retireFailed(run)
 }
 
 func (s *Simulator) completeJob(run *jobRun, end time.Duration) {
@@ -752,6 +909,7 @@ func (s *Simulator) completeJob(run *jobRun, end time.Duration) {
 		ShuffleDegraded: run.pl.degraded,
 		TaskRetries:     run.retries,
 	}, end)
+	s.recycleJob(run)
 }
 
 func (s *Simulator) finish(r Result, now time.Duration) {

@@ -156,3 +156,41 @@ func TestEngineEventsMatchReference(t *testing.T) {
 		t.Error("schedule spawned no nested events; property too weak")
 	}
 }
+
+// TestEngineResetReplayIdentical is the reuse property: any random schedule
+// executed on a Reset() engine — dirtied first by a different schedule, and
+// with events still pending when the reset lands, so all three pending
+// structures (heap, sorted runs) hold leftovers — runs in exactly the same
+// order, to the same final clock, as on a fresh engine.
+func TestEngineResetReplayIdentical(t *testing.T) {
+	f := func(ops, dirty []refOp) bool {
+		eng := New()
+		// Dirty the engine: schedule the other workload, execute only part of
+		// it (RunUntil), and reset with the remainder still pending.
+		for id, op := range dirty {
+			eng.At(time.Duration(op.Delay%32)*10*time.Millisecond, func(time.Duration) {
+				_ = id
+			})
+		}
+		eng.RunUntil(100 * time.Millisecond)
+		eng.Reset()
+		if eng.Now() != 0 || eng.Pending() != 0 || eng.Events() != 0 {
+			return false
+		}
+
+		gotLog, gotEnd, gotN := replay(eng, ops)
+		wantLog, wantEnd, wantN := replay(New(), ops)
+		if gotEnd != wantEnd || gotN != wantN || len(gotLog) != len(wantLog) {
+			return false
+		}
+		for i := range gotLog {
+			if gotLog[i] != wantLog[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

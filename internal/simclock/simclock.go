@@ -7,6 +7,7 @@ package simclock
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 )
 
@@ -44,9 +45,54 @@ func (a item) before(b item) bool {
 type Engine struct {
 	now     time.Duration
 	seq     uint64
-	pending []item // 4-ary min-heap on (at, seq)
-	ran     uint64
-	watch   *Watchdog
+	pending []item // 4-ary min-heap on (at, seq): the out-of-order stragglers
+
+	// streams are the sorted-run fast path. A discrete-event simulation's
+	// schedule is approximately increasing — every event is scheduled at
+	// now+d with now nondecreasing — so most events extend some run whose
+	// tail timestamp is ≤ their own (best fit: the largest such tail), and
+	// runs pop from the head in O(1) with no sift. Because seq increases
+	// monotonically, each run is sorted by (at, seq) and its head is its
+	// minimum; Step takes the least head across the runs and the heap root,
+	// so the execution order is identical to an all-heap engine — only the
+	// storage differs. Pre-scheduled traces (thousands of arrivals in
+	// ascending order) occupy one run outright, and completion timers
+	// stratify across the rest by horizon, leaving the heap nearly empty.
+	streams [numStreams]sortedRun
+	// used has bit k set while streams[k] is non-empty, so the per-event
+	// push and pop scans only touch occupied runs (usually a handful).
+	used uint32
+	// head and tail mirror each occupied run's head key and tail
+	// timestamp, so the per-event min-scan (Step) and best-fit scan (At)
+	// read a few contiguous words instead of chasing every run's slice.
+	// Entries are meaningful only while the run's used bit is set.
+	head [numStreams]runKey
+	tail [numStreams]time.Duration
+
+	ran   uint64
+	watch *Watchdog
+}
+
+// numStreams is the ladder width. Each pending run head costs one compare
+// per Step, so the width trades pop-scan cost against how finely the
+// in-flight timer horizons can stratify before overflowing into the heap.
+const numStreams = 8
+
+// runMask has the low numStreams bits set; ^used & runMask picks a free run.
+const runMask = 1<<numStreams - 1
+
+// sortedRun is one append-only sorted run: items[next:] is pending, sorted
+// ascending by (at, seq); consumed slots are zeroed and the run resets to
+// its full capacity once drained.
+type sortedRun struct {
+	items []item
+	next  int
+}
+
+// runKey is a run head's position in the engine's (at, seq) total order.
+type runKey struct {
+	at  time.Duration
+	seq uint64
 }
 
 // Watchdog bounds a simulation run: exceeding either budget — or an external
@@ -123,11 +169,43 @@ func New() *Engine { return &Engine{} }
 // Now returns the current simulated time.
 func (e *Engine) Now() time.Duration { return e.now }
 
+// Reset restores the engine to its just-constructed state — clock at zero,
+// sequence counter at zero, no pending events, no watchdog — while keeping
+// the pending heap's capacity, so a replay on a reset engine schedules into
+// warm storage but is byte-for-byte identical to one on a fresh engine (the
+// seq counter restarts, so the (at, seq) total order is reproduced exactly).
+// The vacated slots are cleared first so dropped event closures are released
+// for GC rather than pinned by the spare capacity.
+func (e *Engine) Reset() {
+	clear(e.pending)
+	e.pending = e.pending[:0]
+	for k := range e.streams {
+		r := &e.streams[k]
+		clear(r.items)
+		r.items = r.items[:0]
+		r.next = 0
+	}
+	e.used = 0
+	e.head = [numStreams]runKey{}
+	e.tail = [numStreams]time.Duration{}
+	e.now = 0
+	e.seq = 0
+	e.ran = 0
+	e.watch = nil
+}
+
 // Events reports how many events have been executed so far.
 func (e *Engine) Events() uint64 { return e.ran }
 
 // Pending reports how many events are scheduled but not yet run.
-func (e *Engine) Pending() int { return len(e.pending) }
+func (e *Engine) Pending() int {
+	n := len(e.pending)
+	for k := range e.streams {
+		r := &e.streams[k]
+		n += len(r.items) - r.next
+	}
+	return n
+}
 
 // At schedules fn to run at absolute simulated time at. Scheduling in the
 // past (before Now) panics: the model would be causally inconsistent.
@@ -139,6 +217,32 @@ func (e *Engine) At(at time.Duration, fn Event) {
 		panic(fmt.Sprintf("simclock: scheduling at %v, before now %v", at, e.now))
 	}
 	e.seq++
+	// Best-fit run: the one with the largest tail timestamp ≤ at (appending
+	// keeps it sorted — seq is monotone), falling back to an empty run, and
+	// to the heap only when every run's tail is in the event's future.
+	best := -1
+	bestTail := time.Duration(-1)
+	for mask := e.used; mask != 0; mask &= mask - 1 {
+		k := bits.TrailingZeros32(mask)
+		if t := e.tail[k]; t <= at && t > bestTail {
+			best, bestTail = k, t
+		}
+	}
+	if best < 0 {
+		if free := ^e.used & runMask; free != 0 {
+			best = bits.TrailingZeros32(free)
+		}
+	}
+	if best >= 0 {
+		if e.used&(1<<best) == 0 {
+			e.head[best] = runKey{at: at, seq: e.seq}
+			e.used |= 1 << best
+		}
+		r := &e.streams[best]
+		r.items = append(r.items, item{at: at, seq: e.seq, fn: fn})
+		e.tail[best] = at
+		return
+	}
 	e.pending = append(e.pending, item{at: at, seq: e.seq, fn: fn})
 	e.siftUp(len(e.pending) - 1)
 }
@@ -154,66 +258,120 @@ func (e *Engine) After(d time.Duration, fn Event) {
 
 // siftUp restores the heap property after appending at index i.
 func (e *Engine) siftUp(i int) {
-	it := e.pending[i]
+	p := e.pending
+	it := p[i]
 	for i > 0 {
 		parent := (i - 1) / heapArity
-		if !it.before(e.pending[parent]) {
+		pa := p[parent]
+		if it.at > pa.at || (it.at == pa.at && it.seq > pa.seq) {
 			break
 		}
-		e.pending[i] = e.pending[parent]
+		p[i] = pa
 		i = parent
 	}
-	e.pending[i] = it
+	p[i] = it
 }
 
-// siftDown re-places it from the root after the minimum was removed.
+// siftDown re-places it from the root after the minimum was removed. The
+// heap stays shallow — the stream absorbs sorted traffic, so pending holds
+// only the out-of-order timers and fits in L1 — which makes the compare
+// chain, not memory, the cost; the loop keeps the current minimum child's
+// key in locals so each candidate costs one load and (usually) one compare.
 func (e *Engine) siftDown(it item) {
-	n := len(e.pending)
+	p := e.pending
+	n := len(p)
 	i := 0
 	for {
 		first := i*heapArity + 1
 		if first >= n {
 			break
 		}
-		best := first
 		end := first + heapArity
 		if end > n {
 			end = n
 		}
+		best := first
+		ba, bs := p[first].at, p[first].seq
 		for c := first + 1; c < end; c++ {
-			if e.pending[c].before(e.pending[best]) {
-				best = c
+			ca, cs := p[c].at, p[c].seq
+			if ca < ba || (ca == ba && cs < bs) {
+				best, ba, bs = c, ca, cs
 			}
 		}
-		if !e.pending[best].before(it) {
+		if ba > it.at || (ba == it.at && bs > it.seq) {
 			break
 		}
-		e.pending[i] = e.pending[best]
+		p[i] = p[best]
 		i = best
 	}
-	e.pending[i] = it
+	p[i] = it
 }
 
 // Step runs the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was run.
 func (e *Engine) Step() bool {
-	n := len(e.pending)
-	if n == 0 {
+	// The global minimum is the least of the run heads and the heap root —
+	// each is its structure's minimum, so one linear scan finds it.
+	from := -1 // run index, or -1 for the heap
+	var at time.Duration
+	var seq uint64
+	has := len(e.pending) > 0
+	if has {
+		at, seq = e.pending[0].at, e.pending[0].seq
+	}
+	for mask := e.used; mask != 0; mask &= mask - 1 {
+		k := bits.TrailingZeros32(mask)
+		if h := e.head[k]; !has || h.at < at || (h.at == at && h.seq < seq) {
+			at, seq, from, has = h.at, h.seq, k, true
+		}
+	}
+	if !has {
 		return false
 	}
 	if e.watch != nil {
-		e.guard(e.pending[0].at)
+		e.guard(at)
 	}
-	top := e.pending[0]
-	last := e.pending[n-1]
-	e.pending[n-1] = item{} // release the vacated slot's closure for GC
-	e.pending = e.pending[:n-1]
-	if n > 1 {
-		e.siftDown(last)
+	var fn Event
+	if from >= 0 {
+		r := &e.streams[from]
+		fn = r.items[r.next].fn
+		r.next++
+		if r.next == len(r.items) {
+			// One bulk clear per drained run releases all its consumed
+			// closures for GC — cheaper than zeroing each slot per pop.
+			clear(r.items)
+			r.items = r.items[:0]
+			r.next = 0
+			e.used &^= 1 << from
+		} else {
+			if r.next >= 64 && r.next*2 >= len(r.items) {
+				// Compact once the consumed prefix dominates: slide the live
+				// suffix down and release the dead slots, so a run that never
+				// fully drains (steady backlog) stays bounded by its pending
+				// high-water mark instead of growing one slot per event.
+				// Amortized O(1): each compaction copies no more items than
+				// were popped since the previous one.
+				live := copy(r.items, r.items[r.next:])
+				clear(r.items[live:])
+				r.items = r.items[:live]
+				r.next = 0
+			}
+			h := &r.items[r.next]
+			e.head[from] = runKey{at: h.at, seq: h.seq}
+		}
+	} else {
+		fn = e.pending[0].fn
+		n := len(e.pending)
+		last := e.pending[n-1]
+		e.pending[n-1] = item{} // release the vacated slot's closure for GC
+		e.pending = e.pending[:n-1]
+		if n > 1 {
+			e.siftDown(last)
+		}
 	}
-	e.now = top.at
+	e.now = at
 	e.ran++
-	top.fn(e.now)
+	fn(e.now)
 	return true
 }
 
@@ -228,10 +386,30 @@ func (e *Engine) Run() time.Duration {
 // pending, and advances the clock to the deadline (or leaves it past it if
 // an executed event scheduled at exactly the deadline advanced it there).
 func (e *Engine) RunUntil(deadline time.Duration) {
-	for len(e.pending) > 0 && e.pending[0].at <= deadline {
+	for {
+		next, ok := e.nextAt()
+		if !ok || next > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// nextAt returns the timestamp of the earliest pending event.
+func (e *Engine) nextAt() (time.Duration, bool) {
+	has := len(e.pending) > 0
+	var top item
+	if has {
+		top = e.pending[0]
+	}
+	for mask := e.used; mask != 0; mask &= mask - 1 {
+		k := bits.TrailingZeros32(mask)
+		if h := (item{at: e.head[k].at, seq: e.head[k].seq}); !has || h.before(top) {
+			top, has = h, true
+		}
+	}
+	return top.at, has
 }

@@ -54,6 +54,37 @@ func (g *RNG) LogUniform(lo, hi float64) float64 {
 	return math.Exp(math.Log(lo) + u*(math.Log(hi)-math.Log(lo)))
 }
 
+// LogUniformVar is a log-uniform variate with the bounds' logarithms
+// precomputed, for hot paths that draw many samples from one [lo, hi]
+// (e.g. the straggler jitter multiplier, sampled once per task attempt).
+// Sample performs the same arithmetic as LogUniform in the same operation
+// order and consumes one uniform draw, so a stream of samples is bit-for-bit
+// identical to calling LogUniform(lo, hi) each time.
+type LogUniformVar struct {
+	lo, hi     float64
+	logLo, span float64
+}
+
+// NewLogUniformVar validates the bounds once and caches their logs.
+func NewLogUniformVar(lo, hi float64) LogUniformVar {
+	if lo <= 0 || hi <= 0 {
+		panic(fmt.Sprintf("stats: LogUniform bounds must be positive, got [%v, %v]", lo, hi))
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return LogUniformVar{lo: lo, hi: hi, logLo: math.Log(lo), span: math.Log(hi) - math.Log(lo)}
+}
+
+// Sample draws one log-uniform sample from the variate's bounds.
+func (v LogUniformVar) Sample(g *RNG) float64 {
+	if v.lo == v.hi {
+		return v.lo
+	}
+	u := g.r.Float64()
+	return math.Exp(v.logLo + u*v.span)
+}
+
 // Zipf returns a Zipf-distributed rank in [1, n] with exponent s > 1 is not
 // required; s may be any value ≥ 0 (s = 0 is uniform). It uses rejection-free
 // inverse-CDF sampling over a precomputed table when called through

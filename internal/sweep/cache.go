@@ -46,8 +46,29 @@ func KeyFor(p *mapreduce.Platform, job mapreduce.Job) Key {
 		Input:    job.Input,
 		Reducers: job.Reducers,
 		MapTasks: job.MapTasks,
-		Cal:      p.Cal.Hash(),
+		Cal:      calHash(p.Cal),
 	}
+}
+
+// calHashEntry is one memoized Calibration fingerprint.
+type calHashEntry struct {
+	cal  mapreduce.Calibration
+	hash uint64
+}
+
+// lastCalHash is a one-entry memo for calHash: probes within a replay (and
+// across a whole report) almost always share one calibration, and a struct
+// equality check is far cheaper than rehashing every field per probe.
+var lastCalHash atomic.Pointer[calHashEntry]
+
+// calHash returns c.Hash(), memoizing the most recent calibration seen.
+func calHash(c mapreduce.Calibration) uint64 {
+	if e := lastCalHash.Load(); e != nil && e.cal == c {
+		return e.hash
+	}
+	h := c.Hash()
+	lastCalHash.Store(&calHashEntry{cal: c, hash: h})
+	return h
 }
 
 // KeyForFaulted is KeyFor under a fault scenario: faultsFP is the schedule's
@@ -140,20 +161,42 @@ func profileFP(p apps.Profile) uint64 {
 // concurrent use; concurrent requests for the same key run the simulation
 // exactly once (the losers block until the winner's result is ready).
 //
-// The entry map is a sync.Map rather than a mutex-guarded map: the cache is
-// append-only with a read-mostly steady state (every repeated figure point
-// and every failure-aware ETA probe is a hit), which is exactly the shape
-// sync.Map's lock-free read path is built for. Under the parallel resilience
-// replays the old global mutex was the contention point.
+// The entries live in sharded RWMutex-guarded maps rather than the previous
+// sync.Map: sync.Map.Load takes its key as an interface value, which boxed
+// the ~100-byte Key onto the heap on every probe — the dominant allocation
+// of the failure-aware ETA path. A typed map probes without boxing, the read
+// lock keeps the hit path contention-free across the parallel replays, and
+// sharding by a cheap Key hash keeps the rare insert bursts from serializing.
 type Cache struct {
-	entries sync.Map // Key -> *entry
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	shards [cacheShards]cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
 
 	// obsHits/obsMisses mirror the counters into an observability registry
 	// when attached (Observe); nil absorbs the updates.
 	obsHits   *obs.Counter
 	obsMisses *obs.Counter
+}
+
+// cacheShards is the shard count; a small power of two suffices — the pool
+// runs at most a few dozen workers.
+const cacheShards = 16
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[Key]*entry
+}
+
+// shard selects k's shard by mixing the Key's precomputed fingerprints —
+// cheap (no hashing of the strings, which the fingerprints already cover)
+// and allocation-free.
+func (c *Cache) shard(k Key) *cacheShard {
+	h := k.Spec ^ k.AppFP
+	h = h*fnvPrime64 ^ k.Cal
+	h = h*fnvPrime64 ^ k.Faults
+	h = h*fnvPrime64 ^ uint64(k.Input)
+	h = h*fnvPrime64 ^ uint64(k.Reducers)<<32 ^ uint64(k.MapTasks)
+	return &c.shards[h%cacheShards]
 }
 
 type entry struct {
@@ -168,13 +211,24 @@ func NewCache() *Cache { return &Cache{} }
 // first request. Every simulation (and its error, if the platform rejects
 // the job) is computed exactly once per key per cache lifetime.
 func (c *Cache) Do(k Key, compute func() mapreduce.Result) mapreduce.Result {
-	v, ok := c.entries.Load(k)
+	sh := c.shard(k)
+	sh.mu.RLock()
+	e, ok := sh.m[k]
+	sh.mu.RUnlock()
 	if !ok {
-		// First request for this key (or a race with one): LoadOrStore
-		// admits exactly one entry, so exactly one Do per key is a miss.
-		var loaded bool
-		v, loaded = c.entries.LoadOrStore(k, &entry{})
-		ok = loaded
+		// First request for this key (or a race with one): the write-locked
+		// re-check admits exactly one entry, so exactly one Do per key is a
+		// miss — the same single-miss determinism contract LoadOrStore gave.
+		sh.mu.Lock()
+		e, ok = sh.m[k]
+		if !ok {
+			if sh.m == nil {
+				sh.m = make(map[Key]*entry)
+			}
+			e = &entry{}
+			sh.m[k] = e
+		}
+		sh.mu.Unlock()
 	}
 	if ok {
 		c.hits.Add(1)
@@ -183,7 +237,6 @@ func (c *Cache) Do(k Key, compute func() mapreduce.Result) mapreduce.Result {
 		c.misses.Add(1)
 		c.obsMisses.Inc()
 	}
-	e := v.(*entry)
 	e.once.Do(func() { e.res = compute() })
 	return e.res
 }
@@ -225,6 +278,11 @@ func (c *Cache) Stats() (hits, misses uint64) {
 // Len returns the number of memoized points.
 func (c *Cache) Len() int {
 	n := 0
-	c.entries.Range(func(any, any) bool { n++; return true })
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
 	return n
 }
