@@ -37,10 +37,12 @@ race:
 vet:
 	$(GO) vet ./...
 
-# The determinism linter (see DESIGN.md "Determinism contract" and
+# The determinism-and-contract linter (see DESIGN.md §8 and §12 and
 # internal/simlint): vet, module verification (the module is deliberately
-# dependency-free), the simlint analyzers over the whole tree, and a focused
-# race pass over the concurrency-bearing packages.
+# dependency-free), the simlint analyzers over the whole tree — determinism
+# checks plus the hotalloc/fieldcover/poolsafe contract analyzers — and a
+# focused race pass over the concurrency-bearing packages. CI runs simlint
+# with -json/-github on top for inline PR annotations.
 lint:
 	$(GO) vet ./...
 	$(GO) mod verify
@@ -78,7 +80,17 @@ bench-json:
 # runs at a fixed iteration count — timing 3 iterations would be pure clock
 # noise at smoke BENCHTIME settings.
 bench-check:
-	@test -n "$(BENCH_BASELINE)" || { echo "bench-check: no committed BENCH_*.json baseline"; exit 1; }
+	@test -n "$(BENCH_BASELINE)" || { \
+		echo "bench-check: no BENCH_*.json baseline found in the repo root."; \
+		echo ""; \
+		echo "bench-check diffs a fresh benchmark run against the newest committed"; \
+		echo "perf-trajectory entry; without one there is nothing to gate against."; \
+		echo "Record a baseline on a quiet machine and commit it:"; \
+		echo ""; \
+		echo "    make bench-json BENCHTIME=3x    # writes BENCH_$$(date +%Y-%m-%d).json"; \
+		echo "    git add BENCH_*.json"; \
+		echo ""; \
+		exit 1; }
 	$(GO) test -run '^$$' -bench '^(BenchmarkFig10|BenchmarkTraceReplay|BenchmarkResilienceReport|BenchmarkReplayReuse)$$' -benchmem -benchtime $(BENCHTIME) . > bench-check.out
 	$(GO) test -run '^$$' -bench '^BenchmarkEngineRaw$$' -benchmem -benchtime 200000x . >> bench-check.out
 	$(GO) run ./cmd/benchjson < bench-check.out > bench-check.json

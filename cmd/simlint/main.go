@@ -1,12 +1,19 @@
-// Command simlint runs the repo's determinism-and-concurrency analyzers
-// (internal/simlint) over Go packages and exits non-zero on any finding.
+// Command simlint runs the repo's determinism-and-contract analyzers
+// (internal/simlint) over Go packages and exits non-zero on any
+// error-severity finding (warnings are printed but do not fail the run).
 //
 //	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -json findings.json -github ./...
 //
 // Patterns are directories relative to the current working directory; a
 // trailing /... walks recursively (testdata, hidden and underscore
 // directories are skipped, as are directories with no non-test Go files).
 // With no arguments it lints ./... — from the repo root, the whole module.
+//
+// -json FILE writes the findings as a JSON document ("-" for stdout) for
+// machine consumption; -github additionally emits GitHub Actions workflow
+// commands (::error / ::warning) so findings surface as inline annotations
+// on pull requests.
 //
 // Packages listed in simlint.SimPackages are checked under the full
 // determinism contract; every other package still gets the universal checks
@@ -20,6 +27,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,8 +43,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("simlint: ")
+	jsonPath := flag.String("json", "", "write findings as JSON to `file` (\"-\" for stdout)")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error/::warning workflow commands")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-json file] [-github] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
 		for _, a := range simlint.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
@@ -48,16 +58,35 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	code, err := run(patterns, os.Stdout)
+	code, err := run(patterns, os.Stdout, *jsonPath, *github)
 	if err != nil {
 		log.Fatal(err)
 	}
 	os.Exit(code)
 }
 
+// jsonFinding is one finding in the -json report. Paths are relative to the
+// module root so CI annotations resolve against the checkout.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Module   string        `json:"module"`
+	Errors   int           `json:"errors"`
+	Warnings int           `json:"warnings"`
+	Findings []jsonFinding `json:"findings"`
+}
+
 // run lints the packages matched by the patterns, prints findings to out and
-// returns the exit code (0 clean, 1 findings).
-func run(patterns []string, out io.Writer) (int, error) {
+// returns the exit code (0 clean or warnings only, 1 error findings).
+func run(patterns []string, out io.Writer, jsonPath string, github bool) (int, error) {
 	modRoot, modPath, err := moduleRoot()
 	if err != nil {
 		return 0, err
@@ -67,7 +96,7 @@ func run(patterns []string, out io.Writer) (int, error) {
 		return 0, err
 	}
 	loader := simlint.NewLoader()
-	total := 0
+	report := jsonReport{Module: modPath, Findings: []jsonFinding{}}
 	for _, dir := range dirs {
 		path, err := importPath(modRoot, modPath, dir)
 		if err != nil {
@@ -83,14 +112,72 @@ func run(patterns []string, out io.Writer) (int, error) {
 		}
 		for _, f := range findings {
 			fmt.Fprintln(out, f)
+			if github {
+				fmt.Fprintln(out, githubAnnotation(modRoot, f))
+			}
+			file := f.Pos.Filename
+			if rel, relErr := filepath.Rel(modRoot, file); relErr == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+			report.Findings = append(report.Findings, jsonFinding{
+				File:     file,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Severity: f.Severity.String(),
+				Message:  f.Message,
+			})
+			if f.Severity == simlint.SevWarning {
+				report.Warnings++
+			} else {
+				report.Errors++
+			}
 		}
-		total += len(findings)
 	}
-	if total > 0 {
-		fmt.Fprintf(out, "simlint: %d finding(s)\n", total)
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, out, report); err != nil {
+			return 0, err
+		}
+	}
+	if report.Errors+report.Warnings > 0 {
+		fmt.Fprintf(out, "simlint: %d error(s), %d warning(s)\n", report.Errors, report.Warnings)
+	}
+	if report.Errors > 0 {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// githubAnnotation renders a finding as a GitHub Actions workflow command so
+// the Actions runner turns it into an inline PR annotation.
+func githubAnnotation(modRoot string, f simlint.Finding) string {
+	level := "error"
+	if f.Severity == simlint.SevWarning {
+		level = "warning"
+	}
+	file := f.Pos.Filename
+	if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	// Workflow-command data is %-encoded per the Actions toolkit rules.
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(f.Message)
+	return fmt.Sprintf("::%s file=%s,line=%d,col=%d,title=simlint/%s::%s",
+		level, file, f.Pos.Line, f.Pos.Column, f.Analyzer, esc)
+}
+
+// writeJSON writes the report to the named file, or to out when the name is
+// "-".
+func writeJSON(path string, out io.Writer, report jsonReport) error {
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = out.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
 }
 
 // moduleRoot walks up from the working directory to the enclosing go.mod and

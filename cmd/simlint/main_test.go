@@ -2,22 +2,79 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"go/token"
 	"strings"
 	"testing"
+
+	"hybridmr/internal/simlint"
 )
 
 // TestTreeIsClean is the acceptance gate: the linter must exit 0 with zero
-// unsuppressed findings over the whole module. Any newly introduced
-// wall-clock read, global rand call, order-sensitive map range, stray
-// goroutine or reasonless/stale directive in a sim package fails this test.
+// unsuppressed findings over the whole module — warnings included, even
+// though warnings alone would not fail the CLI exit code. Any newly
+// introduced wall-clock read, global rand call, order-sensitive map range,
+// stray goroutine, hot-path allocation, uncovered pooled/hashed field,
+// use-after-release of pooled state or reasonless/stale directive in a sim
+// package fails this test.
 func TestTreeIsClean(t *testing.T) {
 	var buf bytes.Buffer
-	code, err := run([]string{"../../..."}, &buf)
+	code, err := run([]string{"../../..."}, &buf, "", false)
 	if err != nil {
 		t.Fatalf("simlint: %v", err)
 	}
 	if code != 0 {
 		t.Fatalf("simlint found issues:\n%s", buf.String())
+	}
+	if out := buf.String(); strings.Contains(out, "warning:") {
+		t.Fatalf("simlint warnings must be fixed or suppressed before commit:\n%s", out)
+	}
+}
+
+// TestJSONAndGithubOutput exercises the CI output paths against the live
+// tree: the JSON report must parse and agree with the clean gate, and the
+// -github mode must not emit workflow commands when there is nothing to
+// annotate.
+func TestJSONAndGithubOutput(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"../../internal/simclock"}, &buf, "-", true)
+	if err != nil {
+		t.Fatalf("simlint: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("simclock should be clean:\n%s", buf.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("-json - output does not parse: %v\n%s", err, buf.String())
+	}
+	if report.Module != "hybridmr" {
+		t.Errorf("report.Module = %q, want hybridmr", report.Module)
+	}
+	if report.Errors != 0 || report.Warnings != 0 || len(report.Findings) != 0 {
+		t.Errorf("clean run reported findings: %+v", report)
+	}
+	if strings.Contains(buf.String(), "::error") || strings.Contains(buf.String(), "::warning") {
+		t.Errorf("clean run emitted workflow commands:\n%s", buf.String())
+	}
+}
+
+// TestGithubAnnotation checks the workflow-command rendering, including the
+// %-encoding of newlines the Actions toolkit requires.
+func TestGithubAnnotation(t *testing.T) {
+	f := simlint.Finding{
+		Analyzer: "hotalloc",
+		Pos:      token.Position{Filename: "/mod/internal/x/y.go", Line: 7, Column: 3},
+		Message:  "bad\nthing with 100%",
+	}
+	got := githubAnnotation("/mod", f)
+	want := "::error file=internal/x/y.go,line=7,col=3,title=simlint/hotalloc::bad%0Athing with 100%25"
+	if got != want {
+		t.Errorf("githubAnnotation:\n got %q\nwant %q", got, want)
+	}
+	f.Severity = simlint.SevWarning
+	if got := githubAnnotation("/mod", f); !strings.HasPrefix(got, "::warning ") {
+		t.Errorf("warning severity rendered as %q", got)
 	}
 }
 

@@ -11,6 +11,8 @@ const (
 
 // fnvWord folds one 64-bit word into an FNV-1a state byte by byte,
 // little-endian, matching hash/fnv over the same byte stream.
+//
+//simlint:hotpath
 func fnvWord(h, v uint64) uint64 {
 	for i := 0; i < 8; i++ {
 		h ^= v & 0xff
@@ -27,6 +29,8 @@ func fnvWord(h, v uint64) uint64 {
 //
 // Float fields are hashed by their IEEE-754 bit patterns, so -0 and +0 (and
 // different NaN payloads) hash differently; Validate rejects both anyway.
+//
+//simlint:hotpath
 func (c Calibration) Hash() uint64 {
 	h := uint64(fnvOffset64)
 	h = fnvWord(h, uint64(c.BlockSize))

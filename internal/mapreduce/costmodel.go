@@ -15,6 +15,12 @@ import (
 // calibration tests in this package); other deployments can re-tune and
 // re-measure, as the paper recommends (§IV: "other designers can follow the
 // same method to measure the cross points in their systems").
+//
+// Every field must be folded into Hash(): the sweep cache keys memoized
+// simulations on it, so an unhashed field would let two different
+// calibrations alias one cached result.
+//
+//simlint:exhaustive Hash
 type Calibration struct {
 	// BlockSize is the HDFS block / OFS stripe size; 128 MB in the paper.
 	BlockSize units.Bytes

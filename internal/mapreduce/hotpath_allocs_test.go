@@ -1,0 +1,127 @@
+package mapreduce
+
+import (
+	"testing"
+	"time"
+
+	"hybridmr/internal/apps"
+	"hybridmr/internal/units"
+)
+
+// These budgets are the runtime half of the //simlint:hotpath contract: the
+// hotalloc analyzer keeps allocating constructs out of the marked functions
+// statically, and these AllocsPerRun measurements pin the whole marked call
+// graph — dispatch, the ready-set ladder and task heaps, the job-run and
+// attempt freelists, arrival queue, jitter and gray-slowdown scaling — at
+// zero allocations once the pooled state is warm. The cross-check that
+// every marked function is claimed by one of these tests lives in
+// internal/simlint (TestHotpathMarkersHaveAllocBudgets).
+
+// warmReplayAllocs runs the scenario twice on a pooled state to reach the
+// freelists' high-water marks, then measures a steady-state replay.
+func warmReplayAllocs(t *testing.T, run func(*Simulator)) float64 {
+	t.Helper()
+	p := MustArch(OutOFS, DefaultCalibration())
+	st := NewReplayState()
+	replay := func() {
+		st.Reset()
+		sim := st.Simulator(p)
+		run(sim)
+	}
+	replay()
+	replay()
+	return testing.AllocsPerRun(20, replay)
+}
+
+// TestPooledReplaySteadyStateAllocs pins the clean trace-replay path — job
+// submission, arrival queue, dispatch, both task heaps, completion — at
+// zero allocations on a warm ReplayState.
+func TestPooledReplaySteadyStateAllocs(t *testing.T) {
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		jobs[i] = Job{
+			ID:     "j" + string(rune('a'+i%26)) + string(rune('a'+i/26)),
+			App:    apps.Wordcount(),
+			Input:  2 * units.GB,
+			Submit: time.Duration(i) * 15 * time.Second,
+		}
+	}
+	avg := warmReplayAllocs(t, func(sim *Simulator) {
+		sim.SetPolicy(Fair)
+		for _, j := range jobs {
+			sim.Submit(j)
+		}
+		if res := sim.Run(); len(res) != len(jobs) {
+			t.Fatalf("replayed %d of %d jobs", len(res), len(jobs))
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm pooled replay: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestFaultedReplaySteadyStateAllocs pins the failure/straggler machinery —
+// attempt lifecycle, retry accounting, jitter draws, speculative restarts —
+// at zero allocations on a warm state beyond the documented setup cost: the
+// Inject* calls build fresh RNGs per replay (recycle drops them so seeds
+// cannot leak across replays), so the contract is measured as replay allocs
+// == injection-setup allocs.
+func TestFaultedReplaySteadyStateAllocs(t *testing.T) {
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{
+			ID:     "f" + string(rune('a'+i)),
+			App:    apps.Sort(),
+			Input:  4 * units.GB,
+			Submit: time.Duration(i) * 30 * time.Second,
+		}
+	}
+	p := MustArch(OutOFS, DefaultCalibration())
+	st := NewReplayState()
+	inject := func(sim *Simulator) {
+		sim.SetPolicy(Fair)
+		if err := sim.InjectFailures(0.05, 42); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.InjectStragglers(0.2, true, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replay := func() {
+		st.Reset()
+		sim := st.Simulator(p)
+		inject(sim)
+		for _, j := range jobs {
+			sim.Submit(j)
+		}
+		if res := sim.Run(); len(res) != len(jobs) {
+			t.Fatalf("replayed %d of %d jobs", len(res), len(jobs))
+		}
+	}
+	replay()
+	replay()
+	full := testing.AllocsPerRun(20, replay)
+	setup := testing.AllocsPerRun(20, func() {
+		st.Reset()
+		inject(st.Simulator(p))
+	})
+	if full != setup {
+		t.Errorf("warm faulted replay: %v allocs/op vs %v for injection setup alone; the replay machinery must add zero", full, setup)
+	}
+}
+
+// TestCalibrationHashSteadyStateAllocs pins Calibration.Hash (and its
+// fnvWord folds) at zero allocations: the sweep cache hashes it per probe.
+func TestCalibrationHashSteadyStateAllocs(t *testing.T) {
+	cal := DefaultCalibration()
+	var sink uint64
+	avg := testing.AllocsPerRun(1000, func() {
+		sink ^= cal.Hash()
+	})
+	if avg != 0 {
+		t.Errorf("Calibration.Hash: %v allocs/op, want 0", avg)
+	}
+	if sink == 0 {
+		t.Error("hash folded to zero on every call")
+	}
+}

@@ -21,6 +21,8 @@ import (
 // ReplayState owns one simulated clock and the simulators bound to it. It is
 // not safe for concurrent use — one replay runs on it at a time; concurrent
 // replays each acquire their own state from a StatePool.
+//
+//simlint:exhaustive Reset
 type ReplayState struct {
 	eng  *simclock.Engine
 	sims []*Simulator // every simulator ever built on this state

@@ -1,8 +1,10 @@
 package mapreduce
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"hybridmr/internal/simclock"
@@ -50,6 +52,12 @@ const (
 // scheduling policy. Task durations come from the platform's cost model;
 // queueing (the effect the paper blames for THadoop's poor performance in
 // §V) emerges from the slot accounting.
+//
+// Every field must be restored by recycle() or reinit() — the pooled-state
+// reuse contract (replaystate.go); the two deliberate carry-overs below are
+// annotated where they are declared.
+//
+//simlint:exhaustive recycle,reinit
 type Simulator struct {
 	platform *Platform
 	eng      *simclock.Engine
@@ -104,7 +112,9 @@ type Simulator struct {
 	// jobFree recycles jobRun records: a completed (or fully drained
 	// failed) job's run returns here and the next arrival reuses it, so
 	// steady-state job traffic allocates no per-job state (replaystate.go).
-	jobFree []*jobRun
+	// It deliberately survives recycle(): pooled runs are engine-agnostic
+	// (recycleJob zeroes them) and keeping them warm is the whole point.
+	jobFree []*jobRun //simlint:allow fieldcover the warm run pool is the cross-replay carry-over; recycleJob zeroes each pooled record
 
 	// Arrival queue: monotone submissions ride one shared event instead of
 	// a per-job closure. Queued arrivals fire in (at, seq) order, which is
@@ -112,18 +122,20 @@ type Simulator struct {
 	// submitted out of order (behind lastQueued) falls back to a closure.
 	arrivals   []Job
 	arriveNext int
-	arriveFn   simclock.Event
+	// arriveFn is the bound nextArrival method, created once in
+	// NewSimulatorOn and engine-independent, so it survives recycle().
+	arriveFn   simclock.Event //simlint:allow fieldcover bound method of the simulator itself; rebinding per recycle would allocate for no observable change
 	lastQueued time.Duration
 
 	// Gray degradation (graysim.go): the per-stream attempt-level slowdown
 	// weights (1 = clean), the planning-level network factors, the
 	// speculative-clone threshold (0 = clones disabled), and the clone
 	// counters SpeculationStats reports.
-	cpuSlow, diskSlow  float64
-	nicSlow, rackSlow  float64
-	cloneThreshold     float64
-	clonesStarted      int
-	clonesWon          int
+	cpuSlow, diskSlow float64
+	nicSlow, rackSlow float64
+	cloneThreshold    float64
+	clonesStarted     int
+	clonesWon         int
 
 	// onResult, when set, receives finished results instead of the
 	// internal list (SetResultHook).
@@ -184,6 +196,8 @@ func (s *Simulator) InjectFailures(rate float64, seed int64) error {
 }
 
 // attemptFails draws one failure decision.
+//
+//simlint:hotpath
 func (s *Simulator) attemptFails() bool {
 	return s.failureRate > 0 && s.failRNG.Float64() < s.failureRate
 }
@@ -208,6 +222,8 @@ func (s *Simulator) InjectStragglers(frac float64, speculate bool, seed int64) e
 }
 
 // jitterDuration applies the straggler model to one attempt's duration.
+//
+//simlint:hotpath
 func (s *Simulator) jitterDuration(d time.Duration) time.Duration {
 	if s.jitterFrac <= 0 {
 		return d
@@ -229,6 +245,8 @@ func (s *Simulator) jitterDuration(d time.Duration) time.Duration {
 func (s *Simulator) Policy() Policy { return s.policy }
 
 // Submit schedules a job at its Submit time. It must be called before Run.
+//
+//simlint:hotpath
 func (s *Simulator) Submit(job Job) {
 	s.running++
 	if job.Submit >= s.lastQueued {
@@ -244,12 +262,16 @@ func (s *Simulator) Submit(job Job) {
 		s.eng.At(job.Submit, s.arriveFn)
 		return
 	}
-	s.eng.At(job.Submit, func(now time.Duration) { s.startJob(job, now) })
+	// Out-of-order submission (tests and ad-hoc drivers only; trace replays
+	// arrive sorted and take the shared-event path above).
+	s.eng.At(job.Submit, func(now time.Duration) { s.startJob(job, now) }) //simlint:allow hotalloc out-of-order submissions are off the replay path; sorted traces use the closure-free arrival queue
 }
 
 // nextArrival is the shared arrival event: it pops the next queued job and
 // starts it. The vacated slot is cleared so the job's strings are released,
 // and the queue rewinds to reuse its capacity once drained.
+//
+//simlint:hotpath
 func (s *Simulator) nextArrival(now time.Duration) {
 	job := s.arrivals[s.arriveNext]
 	s.arrivals[s.arriveNext] = Job{}
@@ -284,17 +306,20 @@ func (s *Simulator) Run() []Result {
 
 // Results returns the finished jobs' results, sorted by submission time
 // (ties by job ID). It panics if the engine was drained with jobs still in
-// flight — a model bug, not a workload condition.
+// flight — a model bug, not a workload condition. The capture-free
+// slices.SortFunc keeps the post-drain tail off the allocator (sort.Slice
+// costs a closure plus a reflect swapper per call).
+//
+//simlint:hotpath
 func (s *Simulator) Results() []Result {
 	if s.eng.Pending() == 0 && s.running != 0 {
 		panic(fmt.Sprintf("mapreduce: %d jobs still running after drain", s.running))
 	}
-	sort.Slice(s.results, func(i, j int) bool {
-		a, b := s.results[i], s.results[j]
+	slices.SortFunc(s.results, func(a, b Result) int {
 		if a.Submit != b.Submit {
-			return a.Submit < b.Submit
+			return cmp.Compare(a.Submit, b.Submit)
 		}
-		return a.Job.ID < b.Job.ID
+		return strings.Compare(a.Job.ID, b.Job.ID)
 	})
 	return s.results
 }
@@ -316,6 +341,8 @@ func (s *Simulator) MapSlotCapacity() int { return s.capMap }
 // accrue integrates busy slot-seconds up to the current instant; call
 // before any slot-count change. O(1) per transition: only the elapsed
 // interval and the current busy counts are read, never the job list.
+//
+//simlint:hotpath
 func (s *Simulator) accrue(now time.Duration) {
 	if dt := int64(now - s.lastChange); dt > 0 {
 		s.mapSlotNs += dt * int64(s.capMap-s.freeMap)
@@ -339,7 +366,12 @@ func (s *Simulator) Utilization() (mapUtil, redUtil float64) {
 // jobRun tracks one in-flight job. Runs are pooled: completeJob (and the
 // last attempt drain of a failed job) returns the record to the simulator's
 // freelist, and the next arrival reuses it, so steady-state job traffic
-// allocates nothing per job.
+// allocates nothing per job. Every field must be restored before reuse:
+// recycleJob zeroes the per-job state, newJobRun rebinds the identity and
+// the once-per-object bound events, and the ready-set unlink operations
+// (listRemove/heapRemove) reset the intrusive linkage.
+//
+//simlint:exhaustive recycleJob,newJobRun,listRemove,heapRemove
 type jobRun struct {
 	sim    *Simulator
 	job    Job
@@ -388,6 +420,8 @@ type jobRun struct {
 }
 
 // pendingLen returns the job's pending-task count of one kind.
+//
+//simlint:hotpath
 func (r *jobRun) pendingLen(kind int) int {
 	if kind == kMap {
 		return r.initMaps + len(r.reqMaps)
@@ -398,6 +432,8 @@ func (r *jobRun) pendingLen(kind int) int {
 // popTask issues the next pending task ID of one kind: re-queued IDs first
 // (LIFO), then the initial range counting down — byte-identical to popping
 // the former pending-ID slice from the end.
+//
+//simlint:hotpath
 func (r *jobRun) popTask(kind int) int {
 	if kind == kMap {
 		if n := len(r.reqMaps); n > 0 {
@@ -418,6 +454,8 @@ func (r *jobRun) popTask(kind int) int {
 }
 
 // pushTask re-queues a task ID (failure retry, crash kill, lost map output).
+//
+//simlint:hotpath
 func (r *jobRun) pushTask(kind, id int) {
 	if kind == kMap {
 		r.reqMaps = append(r.reqMaps, id)
@@ -429,6 +467,8 @@ func (r *jobRun) pushTask(kind, id int) {
 // newJobRun acquires a run record for a starting job, reusing a recycled one
 // when the freelist has it. The bound setup/shuffle events are created once
 // per object; everything else is (re)initialized here.
+//
+//simlint:hotpath
 func (s *Simulator) newJobRun(job Job, pl plan) *jobRun {
 	var run *jobRun
 	if n := len(s.jobFree); n > 0 {
@@ -436,7 +476,7 @@ func (s *Simulator) newJobRun(job Job, pl plan) *jobRun {
 		s.jobFree[n-1] = nil
 		s.jobFree = s.jobFree[:n-1]
 	} else {
-		run = &jobRun{}
+		run = &jobRun{} //simlint:allow hotalloc freelist miss: allocates only until the job pool reaches the workload's high-water mark
 		run.setupFn = run.setupDone
 		run.shuffleFn = run.shuffleFire
 	}
@@ -449,6 +489,8 @@ func (s *Simulator) newJobRun(job Job, pl plan) *jobRun {
 // retireFailed may call it: at those points no attempt, ready set, active
 // slot or pending engine event references the run (killed and superseded
 // attempts draining stale timers keep the pointer but never dereference it).
+//
+//simlint:hotpath
 func (s *Simulator) recycleJob(run *jobRun) {
 	run.sim = nil
 	run.job = Job{}
@@ -478,6 +520,8 @@ func (s *Simulator) recycleJob(run *jobRun) {
 // has drained. runningMaps+runningReds counts exactly the attempts (clones
 // included) still referencing the run, so zero means no live reference
 // remains; failJob emptied the pending sets and removed the active slot.
+//
+//simlint:hotpath
 func (s *Simulator) retireFailed(run *jobRun) {
 	if run.failed && run.runningMaps == 0 && run.runningReds == 0 {
 		s.recycleJob(run)
@@ -485,6 +529,8 @@ func (s *Simulator) retireFailed(run *jobRun) {
 }
 
 // runningOf returns the job's running-task count of one kind (Fair's key).
+//
+//simlint:hotpath
 func (r *jobRun) runningOf(kind int) int {
 	if kind == kMap {
 		return r.runningMaps
@@ -512,6 +558,8 @@ type readySet struct {
 }
 
 // pick returns the job the next free slot goes to, or nil.
+//
+//simlint:hotpath
 func (rs *readySet) pick() *jobRun {
 	if rs.policy == Fair {
 		if len(rs.heap) == 0 {
@@ -524,6 +572,8 @@ func (rs *readySet) pick() *jobRun {
 
 // set reconciles the job's membership: insert when it became ready, remove
 // when it no longer is, re-position (Fair) when its key may have changed.
+//
+//simlint:hotpath
 func (rs *readySet) set(r *jobRun, ready bool) {
 	if rs.policy == Fair {
 		in := r.heapPos[rs.kind] != 0
@@ -546,6 +596,7 @@ func (rs *readySet) set(r *jobRun, ready bool) {
 	}
 }
 
+//simlint:hotpath
 func (rs *readySet) listInsert(r *jobRun) {
 	k := rs.kind
 	r.inList[k] = true
@@ -575,6 +626,7 @@ func (rs *readySet) listInsert(r *jobRun) {
 	n.prev[k] = r
 }
 
+//simlint:hotpath
 func (rs *readySet) listRemove(r *jobRun) {
 	k := rs.kind
 	if r.prev[k] != nil {
@@ -593,23 +645,28 @@ func (rs *readySet) listRemove(r *jobRun) {
 
 // less orders the Fair heap: fewest running tasks first (max-min fairness),
 // oldest submission on ties.
+//
+//simlint:hotpath
 func (rs *readySet) less(a, b *jobRun) bool {
 	ka, kb := a.runningOf(rs.kind), b.runningOf(rs.kind)
 	return ka < kb || (ka == kb && a.seq < b.seq)
 }
 
+//simlint:hotpath
 func (rs *readySet) heapPush(r *jobRun) {
 	rs.heap = append(rs.heap, r)
 	r.heapPos[rs.kind] = len(rs.heap)
 	rs.heapUp(len(rs.heap) - 1)
 }
 
+//simlint:hotpath
 func (rs *readySet) heapSwap(i, j int) {
 	rs.heap[i], rs.heap[j] = rs.heap[j], rs.heap[i]
 	rs.heap[i].heapPos[rs.kind] = i + 1
 	rs.heap[j].heapPos[rs.kind] = j + 1
 }
 
+//simlint:hotpath
 func (rs *readySet) heapUp(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
@@ -621,6 +678,7 @@ func (rs *readySet) heapUp(i int) {
 	}
 }
 
+//simlint:hotpath
 func (rs *readySet) heapDown(i int) {
 	n := len(rs.heap)
 	for {
@@ -640,12 +698,14 @@ func (rs *readySet) heapDown(i int) {
 	}
 }
 
+//simlint:hotpath
 func (rs *readySet) heapFix(r *jobRun) {
 	i := r.heapPos[rs.kind] - 1
 	rs.heapUp(i)
 	rs.heapDown(i)
 }
 
+//simlint:hotpath
 func (rs *readySet) heapRemove(r *jobRun) {
 	i := r.heapPos[rs.kind] - 1
 	last := len(rs.heap) - 1
@@ -664,11 +724,15 @@ func (rs *readySet) heapRemove(r *jobRun) {
 // touch reconciles the job's ready-set state after any change to its
 // pending or running task counts of one kind. Every mutation site calls it;
 // keeping the rule that blunt keeps the index impossible to desynchronize.
+//
+//simlint:hotpath
 func (s *Simulator) touch(kind int, run *jobRun) {
 	s.ready[kind].set(run, !run.failed && run.pendingLen(kind) > 0)
 }
 
 // removeActive drops a finished or failed job from the active list in O(1).
+//
+//simlint:hotpath
 func (s *Simulator) removeActive(run *jobRun) {
 	i := run.activeIdx
 	last := len(s.active) - 1
@@ -679,6 +743,7 @@ func (s *Simulator) removeActive(run *jobRun) {
 	run.activeIdx = -1
 }
 
+//simlint:hotpath
 func (s *Simulator) startJob(job Job, now time.Duration) {
 	// Plan against the platform as degraded right now: a job arriving with
 	// machines or storage down gets slower tasks, narrower waves and the
@@ -702,6 +767,8 @@ func (s *Simulator) startJob(job Job, now time.Duration) {
 
 // setupDone ends the job's setup phase: its map tasks become pending and the
 // job joins the active set. Bound once per jobRun as setupFn.
+//
+//simlint:hotpath
 func (r *jobRun) setupDone(now time.Duration) {
 	s := r.sim
 	s.setupMaps -= r.pl.mapTasks
@@ -719,6 +786,8 @@ func (r *jobRun) setupDone(now time.Duration) {
 // once per jobRun as shuffleFn; it fires exactly once per job lifecycle —
 // mapsDone cannot regress during the shuffle window (loseCompletedMaps skips
 // jobs already past their map phase), so the event is never double-armed.
+//
+//simlint:hotpath
 func (r *jobRun) shuffleFire(now time.Duration) {
 	s := r.sim
 	r.shuffling = false
@@ -731,6 +800,8 @@ func (r *jobRun) shuffleFire(now time.Duration) {
 }
 
 // dispatch hands out free slots until none remain or nothing is runnable.
+//
+//simlint:hotpath
 func (s *Simulator) dispatch(now time.Duration) {
 	s.noteSlots() // queue depth peaks before slots are granted
 	for s.freeMap > 0 {
@@ -750,6 +821,7 @@ func (s *Simulator) dispatch(now time.Duration) {
 	s.noteSlots() // busy slots peak after the grants
 }
 
+//simlint:hotpath
 func (s *Simulator) startMapTask(run *jobRun, now time.Duration) {
 	s.accrue(now)
 	s.freeMap--
@@ -769,6 +841,8 @@ func (s *Simulator) startMapTask(run *jobRun, now time.Duration) {
 // mapTaskDone is a map attempt's completion: the slot frees, and the task
 // either re-queues (injected failure under the attempt budget), fails the
 // job, or counts toward the map phase, whose end schedules the shuffle.
+//
+//simlint:hotpath
 func (s *Simulator) mapTaskDone(run *jobRun, taskID int, now time.Duration) {
 	s.accrue(now)
 	s.freeMap++
@@ -806,6 +880,7 @@ func (s *Simulator) mapTaskDone(run *jobRun, taskID int, now time.Duration) {
 	s.dispatch(now)
 }
 
+//simlint:hotpath
 func (s *Simulator) startReduceTask(run *jobRun, now time.Duration) {
 	s.accrue(now)
 	s.freeRed--
@@ -819,6 +894,8 @@ func (s *Simulator) startReduceTask(run *jobRun, now time.Duration) {
 
 // redTaskDone is a reduce attempt's completion, mirroring mapTaskDone; the
 // last reduce completes the job.
+//
+//simlint:hotpath
 func (s *Simulator) redTaskDone(run *jobRun, taskID int, now time.Duration) {
 	s.accrue(now)
 	s.freeRed++
@@ -887,6 +964,7 @@ func (s *Simulator) failJob(run *jobRun, now time.Duration, phase string) {
 	s.retireFailed(run)
 }
 
+//simlint:hotpath
 func (s *Simulator) completeJob(run *jobRun, end time.Duration) {
 	s.traceJobDone(run, end)
 	s.touch(kMap, run)
@@ -912,6 +990,7 @@ func (s *Simulator) completeJob(run *jobRun, end time.Duration) {
 	s.recycleJob(run)
 }
 
+//simlint:hotpath
 func (s *Simulator) finish(r Result, now time.Duration) {
 	s.running--
 	if s.onResult != nil {

@@ -10,5 +10,8 @@ func All() []*Analyzer {
 		Floatfold,
 		Locksafe,
 		Selectorder,
+		Hotalloc,
+		Fieldcover,
+		Poolsafe,
 	}
 }

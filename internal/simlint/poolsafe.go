@@ -1,0 +1,460 @@
+package simlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Poolsafe checks the pooled replay-state lifecycle statically (the runtime
+// half is the fresh-vs-pooled equivalence property): every AcquireState (or
+// StatePool.Acquire) must be paired with a ReleaseState on all paths —
+// idiomatically `defer mapreduce.ReleaseState(st)` right after the acquire —
+// and nothing pointing into the pooled state may outlive the release. The
+// analyzer taints the acquired state and every pointer-carrying value
+// derived from it (st.Engine(), st.Simulator(p), sim.Run()'s result view,
+// slices/containers they flow into) and reports:
+//
+//   - an acquire whose state is never released (unless the function returns
+//     the state itself — an ownership transfer, e.g. AcquireState's own body)
+//   - a non-deferred release when the same function acquired the state
+//     (warning: an early return or watchdog panic leaks it), and any use of
+//     tainted state positioned after a non-deferred release (error)
+//   - returning or storing a tainted value out of a function that releases
+//     the state: results must be copied into fresh memory before release —
+//     the documented copy-before-Release contract (DESIGN §11)
+//
+// Value copies break the taint: ranging mapreduce.Result structs out of
+// sim.Run()'s view, or copy()ing them into a fresh slice, is exactly the
+// sanctioned idiom and passes.
+var Poolsafe = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "AcquireState pairs with ReleaseState on all paths; no pointer into pooled state survives the release",
+	Run:  runPoolsafe,
+}
+
+func runPoolsafe(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkPoolFunc(p, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// poolRelease is one release call found in a function body.
+type poolRelease struct {
+	call     *ast.CallExpr
+	arg      types.Object // released state variable, nil when not a plain ident
+	deferred bool
+}
+
+func checkPoolFunc(p *Pass, fn *ast.FuncDecl) {
+	// Pass 1: find acquire and release calls.
+	acquired := make(map[types.Object]*ast.CallExpr) // state var -> acquire call
+	var acquireCalls []*ast.CallExpr
+	var releases []*poolRelease
+	var inDefer func(n ast.Node, deferred bool)
+	inDefer = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.DeferStmt:
+				inDefer(c.Call, true)
+				return false
+			case *ast.CallExpr:
+				if isAcquireCall(p, c) {
+					acquireCalls = append(acquireCalls, c)
+				}
+				if arg, ok := releaseArg(p, c); ok {
+					rel := &poolRelease{call: c, deferred: deferred}
+					if id, isIdent := ast.Unparen(arg).(*ast.Ident); isIdent {
+						rel.arg = p.identObj(id)
+					}
+					releases = append(releases, rel)
+				}
+			}
+			return true
+		})
+	}
+	inDefer(fn.Body, false)
+	if len(acquireCalls) == 0 && len(releases) == 0 {
+		return
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isAcquireCall(p, call) || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := p.identObj(id); obj != nil {
+					acquired[obj] = call
+				}
+			}
+		}
+		return true
+	})
+	// An acquire whose result is neither bound to a variable nor returned is
+	// unreleasable on the spot.
+	bound := make(map[*ast.CallExpr]bool)
+	for _, call := range acquired {
+		bound[call] = true
+	}
+	for _, call := range acquireCalls {
+		if !bound[call] && !isTransferred(fn, call) {
+			p.Reportf(call.Pos(), "pooled state acquired but not bound to a variable; it can never be released")
+		}
+	}
+
+	// Pass 2: taint fixed point over the function body. Seeds: acquired
+	// states and released arguments (so helper functions that release a
+	// caller's state still get use-after-release checks).
+	tainted := make(map[types.Object]bool)
+	for obj := range acquired {
+		tainted[obj] = true
+	}
+	for _, rel := range releases {
+		if rel.arg != nil {
+			tainted[rel.arg] = true
+		}
+	}
+	var storeViolations []ast.Node
+	for changed := true; changed; {
+		changed = false
+		storeViolations = storeViolations[:0]
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) || !taintedExpr(p, tainted, rhs) {
+						continue
+					}
+					switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+					case *ast.Ident:
+						if obj := p.identObj(lhs); obj != nil {
+							if obj.Parent() == p.Pkg.Scope() {
+								storeViolations = append(storeViolations, n)
+							} else if !tainted[obj] {
+								tainted[obj] = true
+								changed = true
+							}
+						}
+					case *ast.SelectorExpr:
+						// Storing into a field: fine when the base is itself
+						// pooled state (internal wiring); escaping otherwise.
+						if !taintedExpr(p, tainted, lhs.X) {
+							storeViolations = append(storeViolations, n)
+						}
+					case *ast.IndexExpr:
+						// arr[i] = tainted: the container now carries the
+						// taint; returning it later is the violation.
+						if root := rootObj(p, lhs.X); root != nil && !tainted[root] {
+							tainted[root] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && taintedExpr(p, tainted, n.X) {
+					if id, ok := n.Value.(*ast.Ident); ok {
+						if obj := p.identObj(id); obj != nil && pointerLike(obj.Type()) && !tainted[obj] {
+							tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// copy(dst, tainted) with pointer-carrying elements keeps
+				// the dst aliased into pooled state.
+				if p.isBuiltin(n, "copy") && len(n.Args) == 2 && taintedExpr(p, tainted, n.Args[1]) {
+					if sl, ok := underlyingOf(p.typeOf(n.Args[1])).(*types.Slice); ok && pointerLike(sl.Elem()) {
+						if root := rootObj(p, n.Args[0]); root != nil && !tainted[root] {
+							tainted[root] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 3: violations.
+	hasDeferredRelease := false
+	for _, rel := range releases {
+		if rel.deferred {
+			hasDeferredRelease = true
+		}
+	}
+	for obj, call := range acquired {
+		released := false
+		for _, rel := range releases {
+			if rel.arg == obj {
+				released = true
+				if !rel.deferred {
+					p.Warnf(rel.call.Pos(), "release of %s is not deferred; an early return or watchdog panic leaks the pooled state — `defer` it right after the acquire", obj.Name())
+				}
+			}
+		}
+		if !released {
+			if returnsObj(fn, p, obj) {
+				continue // ownership transfer (AcquireState-style wrapper)
+			}
+			p.Reportf(call.Pos(), "%s is acquired but never released on some path; pair every AcquireState with a deferred ReleaseState", obj.Name())
+		}
+	}
+	// Use after a non-deferred release.
+	for _, rel := range releases {
+		if rel.deferred || rel.arg == nil {
+			continue
+		}
+		reportUsesAfter(p, fn, rel, tainted)
+	}
+	// Escapes out of a function that releases: returns and stores.
+	if hasDeferredRelease {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				if taintedExpr(p, tainted, res) {
+					p.Reportf(res.Pos(), "returns a value pointing into pooled state that the deferred release recycles; copy the results into fresh memory before returning (copy-before-Release contract)")
+				}
+			}
+			return true
+		})
+	}
+	if len(releases) > 0 {
+		for _, n := range storeViolations {
+			p.Reportf(n.Pos(), "stores a value pointing into pooled state where it outlives the release; copy into fresh memory instead")
+		}
+	}
+}
+
+// reportUsesAfter flags ident uses of tainted objects positioned after a
+// non-deferred release call.
+func reportUsesAfter(p *Pass, fn *ast.FuncDecl, rel *poolRelease, tainted map[types.Object]bool) {
+	after := rel.call.End()
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= after {
+			return true
+		}
+		obj := p.TypesInfo.Uses[id]
+		if obj != nil && tainted[obj] {
+			p.Reportf(id.Pos(), "%s is used after the state was released at line %d; copy what you need out of the pooled state before releasing it", id.Name, p.Fset.Position(rel.call.Pos()).Line)
+		}
+		return true
+	})
+}
+
+// returnsObj reports whether some return statement returns obj directly.
+func returnsObj(fn *ast.FuncDecl, p *Pass, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && p.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isTransferred reports whether the acquire call's result is returned
+// directly (return AcquireState()).
+func isTransferred(fn *ast.FuncDecl, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if ast.Unparen(res) == ast.Expr(call) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isAcquireCall matches AcquireState(...) and pool.Acquire() where pool is a
+// StatePool. The name-based match keeps simclock.Pool.Acquire (the slot
+// semaphore, which grants by callback and never hands out pooled memory) out
+// of scope.
+func isAcquireCall(p *Pass, call *ast.CallExpr) bool {
+	obj := p.calleeObj(call)
+	if obj == nil {
+		return false
+	}
+	switch obj.Name() {
+	case "AcquireState":
+		return true
+	case "Acquire":
+		return receiverIsStatePool(obj)
+	}
+	return false
+}
+
+// releaseArg matches ReleaseState(st) and pool.Release(st), returning the
+// released expression.
+func releaseArg(p *Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	obj := p.calleeObj(call)
+	if obj == nil || len(call.Args) != 1 {
+		return nil, false
+	}
+	switch obj.Name() {
+	case "ReleaseState":
+		return call.Args[0], true
+	case "Release":
+		if receiverIsStatePool(obj) {
+			return call.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+// receiverIsStatePool reports whether obj is a method on a type named
+// StatePool (value or pointer receiver).
+func receiverIsStatePool(obj types.Object) bool {
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "StatePool"
+}
+
+// taintedExpr reports whether e evaluates to a value carrying pointers into
+// tainted pooled state. Struct-value copies break the taint.
+func taintedExpr(p *Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := p.identObj(e)
+		return obj != nil && tainted[obj]
+	case *ast.StarExpr:
+		return taintedExpr(p, tainted, e.X)
+	case *ast.UnaryExpr:
+		return taintedExpr(p, tainted, e.X)
+	case *ast.SelectorExpr:
+		return taintedExpr(p, tainted, e.X) && pointerLike(p.typeOf(ast.Expr(e)))
+	case *ast.IndexExpr:
+		return taintedExpr(p, tainted, e.X) && pointerLike(p.typeOf(ast.Expr(e)))
+	case *ast.SliceExpr:
+		return taintedExpr(p, tainted, e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if taintedExpr(p, tainted, elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if p.isBuiltin(e, "append") && len(e.Args) > 0 {
+			// append copies elements: the result carries taint only when an
+			// appended element itself carries pointers into the state.
+			for i, arg := range e.Args[1:] {
+				if !taintedExpr(p, tainted, arg) {
+					continue
+				}
+				t := p.typeOf(arg)
+				if e.Ellipsis.IsValid() && i == len(e.Args[1:])-1 {
+					if sl, ok := underlyingOf(t).(*types.Slice); ok {
+						t = sl.Elem()
+					}
+				}
+				if pointerLike(t) {
+					return true
+				}
+			}
+			return taintedExpr(p, tainted, e.Args[0])
+		}
+		// A method called on tainted state whose result carries pointers
+		// (st.Engine(), st.Simulator(p), sim.Run()'s view) stays tainted.
+		// error results are exempt: errors are built fresh (fmt.Errorf),
+		// not views into the state, and flagging every `return nil, err`
+		// in a releasing function would drown the real escapes.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			t := p.typeOf(ast.Expr(e))
+			if taintedExpr(p, tainted, sel.X) && pointerLike(t) && !isErrorType(t) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// pointerLike reports whether values of t carry pointers that can alias
+// pooled state. Struct and basic values are copies; pointers, slices, maps,
+// channels, funcs and interfaces keep referring into the state.
+func pointerLike(t types.Type) bool {
+	switch underlyingOf(t).(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// underlyingOf is t.Underlying() tolerating nil (the type checker records no
+// type for some expressions).
+func underlyingOf(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// rootObj resolves the base variable of an lvalue chain (a in a[i].f).
+func rootObj(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return p.identObj(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

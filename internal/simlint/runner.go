@@ -10,11 +10,16 @@ import (
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
+	Severity Severity
 	Message  string
 }
 
 // String renders the finding in the conventional path:line:col form.
+// Warnings carry an explicit marker; errors stay in the historical format.
 func (f Finding) String() string {
+	if f.Severity == SevWarning {
+		return fmt.Sprintf("%s: [%s] warning: %s", f.Pos, f.Analyzer, f.Message)
+	}
 	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
 }
 
@@ -62,7 +67,7 @@ func Run(pkg *Package, analyzers []*Analyzer, sim bool) ([]Finding, error) {
 			}
 		}
 		if !suppressed {
-			out = append(out, Finding{Analyzer: d.Analyzer, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+			out = append(out, Finding{Analyzer: d.Analyzer, Pos: pkg.Fset.Position(d.Pos), Severity: d.Severity, Message: d.Message})
 		}
 	}
 	for _, dir := range directives {

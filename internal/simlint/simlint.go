@@ -61,18 +61,49 @@ type Pass struct {
 	diags *[]Diagnostic
 }
 
+// Severity classifies a diagnostic. Errors are contract violations and fail
+// the build; warnings flag heuristic findings (e.g. a self-append whose
+// backing slice may still grow) that deserve a look but where the runtime
+// AllocsPerRun budgets stay authoritative. cmd/simlint exits non-zero only
+// on errors; the in-repo TestTreeIsClean gate requires zero of either.
+type Severity int
+
+const (
+	SevError Severity = iota
+	SevWarning
+)
+
+// String renders the severity as it appears in findings and JSON output.
+func (s Severity) String() string {
+	if s == SevWarning {
+		return "warning"
+	}
+	return "error"
+}
+
 // Diagnostic is one reported finding, before suppression filtering.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Pos
+	Severity Severity
 	Message  string
 }
 
-// Reportf records a diagnostic at pos.
+// Reportf records an error-severity diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, SevError, format, args...)
+}
+
+// Warnf records a warning-severity diagnostic at pos.
+func (p *Pass) Warnf(pos token.Pos, format string, args ...any) {
+	p.report(pos, SevWarning, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, sev Severity, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      pos,
+		Severity: sev,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }

@@ -51,6 +51,29 @@ func TestGrayfail(t *testing.T) {
 	simlinttest.Run(t, fixture("grayfail"), simlint.Walltime, simlint.Maporder)
 }
 
+// TestHotalloc pins the zero-allocation contract on marked functions:
+// every allocating construct is a diagnostic, the sanctioned idioms
+// (field self-append, capture-free literals, panic cold paths) pass, and
+// a marker attached to nothing is itself diagnosed.
+func TestHotalloc(t *testing.T) {
+	simlinttest.Run(t, fixture("hotalloc"), simlint.Hotalloc)
+}
+
+// TestFieldcover pins the exhaustive-coverage contract: uncovered fields
+// (named and embedded) are diagnosed at their declaration line, mentions
+// count through selectors / keyed literals / whole-value writes on any
+// listed function, and malformed markers are diagnosed.
+func TestFieldcover(t *testing.T) {
+	simlinttest.Run(t, fixture("fieldcover"), simlint.Fieldcover)
+}
+
+// TestPoolsafe pins the pooled-state lifecycle: unpaired or non-deferred
+// releases, uses after release and escapes of pooled pointers are
+// diagnostics; the copy-before-release idiom and ownership transfers pass.
+func TestPoolsafe(t *testing.T) {
+	simlinttest.Run(t, fixture("poolsafe"), simlint.Poolsafe)
+}
+
 // TestSuppression pins the directive contract: a reasoned //simlint:allow
 // suppresses its line, a reasonless one suppresses nothing and is itself
 // diagnosed, and a stale one is reported.

@@ -31,10 +31,12 @@ type want struct {
 	met  bool
 }
 
-// Two annotation forms: `// want "re"` asserts on its own line, and
-// `// want-next "re"` asserts on the line below — for lines whose trailing
-// comment slot is already taken by a //simlint:allow directive under test.
-var wantRE = regexp.MustCompile(`//\s*want(-next)?\s+(.*)$`)
+// Three annotation forms: `// want "re"` asserts on its own line,
+// `// want-next "re"` on the line below — for lines whose trailing comment
+// slot is already taken by a //simlint:allow directive under test — and
+// `// want+N "re"` N lines below, for diagnostics on marker comments that
+// gofmt separates from the prose above them with a blank comment line.
+var wantRE = regexp.MustCompile(`//\s*want(-next|\+\d+)?\s+(.*)$`)
 var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
 
 // Run loads the fixture directory as one package (forced under the
@@ -89,8 +91,15 @@ func collectWants(t *testing.T, pkg *simlint.Package) []*want {
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				line := pos.Line
-				if m[1] == "-next" {
+				switch {
+				case m[1] == "-next":
 					line++
+				case strings.HasPrefix(m[1], "+"):
+					n, err := strconv.Atoi(m[1][1:])
+					if err != nil {
+						t.Fatalf("%s: bad want offset %q: %v", pos, m[1], err)
+					}
+					line += n
 				}
 				for _, q := range quotedRE.FindAllString(m[2], -1) {
 					pat, err := strconv.Unquote(q)

@@ -1,0 +1,119 @@
+// Fixture for the fieldcover analyzer: structs carrying an exhaustive
+// marker must mention every field in the listed functions.
+// Mentions count through selectors, keyed composite literals and
+// whole-value writes; coverage may live on another type's methods
+// (union semantics over the comma-separated list).
+package fieldcover
+
+// Fully covered through plain selectors.
+//
+//simlint:exhaustive Reset
+type engine struct {
+	now int
+	seq uint64
+}
+
+func (e *engine) Reset() {
+	e.now = 0
+	e.seq = 0
+}
+
+// A field the listed function never touches is the core diagnostic.
+//
+//simlint:exhaustive resetPartial
+type partial struct {
+	a int
+	b int // want "field b of partial is not mentioned in resetPartial"
+}
+
+func (p *partial) resetPartial() { p.a = 0 }
+
+// Union semantics: coverage split across the listed functions passes.
+//
+//simlint:exhaustive resetA,resetB
+type split struct {
+	x, y int
+}
+
+func (s *split) resetA() { s.x = 0 }
+func (s *split) resetB() { s.y = 0 }
+
+// Whole-value zeroing (*w = wiped{}) covers every field at once.
+//
+//simlint:exhaustive wipe
+type wiped struct{ m, n int }
+
+func (w *wiped) wipe() { *w = wiped{} }
+
+// Keyed composite literals cover exactly their keys.
+//
+//simlint:exhaustive rebuild
+type keyed struct{ a, b int }
+
+func (k *keyed) rebuild() { *k = keyed{a: 1, b: 2} }
+
+// Coverage may live on the owning container, not the record type itself:
+// functions are matched by bare name, any receiver.
+//
+//simlint:exhaustive recycleRec
+type record struct{ id, pos int }
+
+type owner struct{ recs []record }
+
+func (o *owner) recycleRec(r *record) {
+	r.id = 0
+	r.pos = 0
+}
+
+// A deliberately surviving field carries an allow directive with a reason.
+//
+//simlint:exhaustive recycle
+type pooled struct {
+	data []int
+	free []int //simlint:allow fieldcover fixture: the warm freelist carries over deliberately
+}
+
+func (p *pooled) recycle() { p.data = p.data[:0] }
+
+type inner struct{ z int }
+
+// An uncovered embedded field is reported under the embedded type's name.
+//
+//simlint:exhaustive resetEmb
+type withEmb struct {
+	inner // want "embedded field inner of withEmb is not mentioned"
+	k     int
+}
+
+func (w *withEmb) resetEmb() { w.k = 0 }
+
+// Listing a function the package does not declare is a diagnostic; the
+// fields then read as uncovered too.
+//
+// want+2 "lists Hash, but the package declares no such function"
+//
+//simlint:exhaustive Hash
+type unhashed struct {
+	v int // want "field v of unhashed is not mentioned in Hash"
+}
+
+// The marker needs a function list.
+//
+// want+2 "needs a comma-separated function list"
+//
+//simlint:exhaustive
+type nolist struct{ q int }
+
+// The marker applies to structs only.
+//
+// want+2 "applies to struct types"
+//
+//simlint:exhaustive Reset
+type alias int
+
+// A marker attached to no type declaration is itself a diagnostic.
+//
+// want+2 "attaches to no type declaration"
+//
+//simlint:exhaustive Reset
+func orphan() {}

@@ -1,0 +1,153 @@
+// Fixture for the poolsafe analyzer: every AcquireState pairs with a
+// ReleaseState on all paths, and nothing pointing into the pooled state
+// may outlive the release. The good* functions pin the sanctioned idioms
+// (defer-right-after-acquire, copy-before-release, ownership transfer,
+// value copies breaking the taint); the bad* functions pin each violation.
+package poolsafe
+
+type Result struct{ ID, N int }
+
+type State struct {
+	results []Result
+	ptrs    []*Result
+	bad     bool
+}
+
+func (s *State) Results() []Result   { return s.results }
+func (s *State) Pointers() []*Result { return s.ptrs }
+func (s *State) First() *Result      { return &s.results[0] }
+func (s *State) Check() error {
+	if s.bad {
+		return errBad
+	}
+	return nil
+}
+
+var errBad error
+
+type StatePool struct{ free []*State }
+
+func (p *StatePool) Acquire() *State {
+	if n := len(p.free); n > 0 {
+		st := p.free[n-1]
+		p.free = p.free[:n-1]
+		return st
+	}
+	return &State{}
+}
+
+func (p *StatePool) Release(st *State) { p.free = append(p.free, st) }
+
+var shared StatePool
+
+// Ownership transfer: returning the acquired state is the pool API itself.
+func AcquireState() *State { return shared.Acquire() }
+
+func ReleaseState(st *State) { shared.Release(st) }
+
+// The canonical idiom: acquire, defer the release, copy values out.
+func goodCopyOut() []Result {
+	st := AcquireState()
+	defer ReleaseState(st)
+	view := st.Results()
+	out := make([]Result, len(view))
+	copy(out, view)
+	return out
+}
+
+// Ranging struct values out of the view copies them: taint broken.
+func goodRangeCopy() []Result {
+	st := AcquireState()
+	defer ReleaseState(st)
+	var out []Result
+	for _, r := range st.Results() {
+		out = append(out, r)
+	}
+	return out
+}
+
+// error results are built fresh, not views into the state: exempt.
+func goodErrReturn() ([]Result, error) {
+	st := AcquireState()
+	defer ReleaseState(st)
+	if err := st.Check(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(st.Results()))
+	copy(out, st.Results())
+	return out, nil
+}
+
+// Binding the state and returning it is also an ownership transfer.
+func goodTransferNamed() *State {
+	st := AcquireState()
+	st.results = st.results[:0]
+	return st
+}
+
+func badNeverReleased() {
+	st := AcquireState() // want "never released on some path"
+	st.bad = false
+}
+
+func badUnbound() {
+	AcquireState() // want "not bound to a variable"
+}
+
+func badEarlyRelease() int {
+	st := AcquireState()
+	r := st.First()
+	ReleaseState(st) // want "not deferred"
+	return r.N       // want "used after the state was released"
+}
+
+func badReturnView() []Result {
+	st := AcquireState()
+	defer ReleaseState(st)
+	return st.Results() // want "copy-before-Release"
+}
+
+// Ranging pointers keeps them aliased into the state; collecting and
+// returning them escapes the release.
+func badRangeAlias() []*Result {
+	st := AcquireState()
+	defer ReleaseState(st)
+	var out []*Result
+	for _, r := range st.Pointers() {
+		out = append(out, r)
+	}
+	return out // want "copy-before-Release"
+}
+
+// Storing a pooled pointer into a fresh container taints the container.
+func badIndexStore() []*Result {
+	st := AcquireState()
+	defer ReleaseState(st)
+	out := make([]*Result, 1)
+	out[0] = st.First()
+	return out // want "copy-before-Release"
+}
+
+// copy() of pointer elements keeps the destination aliased.
+func badCopyPtrs() []*Result {
+	st := AcquireState()
+	defer ReleaseState(st)
+	out := make([]*Result, 4)
+	copy(out, st.Pointers())
+	return out // want "copy-before-Release"
+}
+
+var escaped *Result
+
+func badStoreGlobal() {
+	st := AcquireState()
+	defer ReleaseState(st)
+	escaped = st.First() // want "stores a value pointing into pooled state"
+}
+
+// The allow directive is the escape hatch for sanctioned exceptions.
+func allowedLeak() *Result {
+	st := AcquireState()
+	defer ReleaseState(st)
+	return st.First() //simlint:allow poolsafe fixture: sanctioned escape pins the allow path
+}

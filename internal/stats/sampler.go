@@ -19,6 +19,8 @@ func NewRNG(seed int64) *RNG {
 }
 
 // Float64 returns a uniform sample in [0, 1).
+//
+//simlint:hotpath
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 
 // Intn returns a uniform int in [0, n). It panics if n ≤ 0.
@@ -61,7 +63,7 @@ func (g *RNG) LogUniform(lo, hi float64) float64 {
 // order and consumes one uniform draw, so a stream of samples is bit-for-bit
 // identical to calling LogUniform(lo, hi) each time.
 type LogUniformVar struct {
-	lo, hi     float64
+	lo, hi      float64
 	logLo, span float64
 }
 
@@ -77,6 +79,8 @@ func NewLogUniformVar(lo, hi float64) LogUniformVar {
 }
 
 // Sample draws one log-uniform sample from the variate's bounds.
+//
+//simlint:hotpath
 func (v LogUniformVar) Sample(g *RNG) float64 {
 	if v.lo == v.hi {
 		return v.lo

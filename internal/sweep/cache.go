@@ -19,6 +19,8 @@ import (
 // Job.ID and Job.Submit are deliberately excluded — RunIsolated ignores
 // them, which is what lets "fig", "norm" and "sweep" probes of the same
 // point share one simulation.
+//
+//simlint:exhaustive KeyFor,KeyForFaulted,shard
 type Key struct {
 	Platform string
 	Spec     uint64
@@ -37,6 +39,8 @@ type Key struct {
 }
 
 // KeyFor builds the content key of running job isolated on p.
+//
+//simlint:hotpath
 func KeyFor(p *mapreduce.Platform, job mapreduce.Job) Key {
 	return Key{
 		Platform: p.Name,
@@ -62,12 +66,17 @@ type calHashEntry struct {
 var lastCalHash atomic.Pointer[calHashEntry]
 
 // calHash returns c.Hash(), memoizing the most recent calibration seen.
+//
+//simlint:hotpath
 func calHash(c mapreduce.Calibration) uint64 {
 	if e := lastCalHash.Load(); e != nil && e.cal == c {
 		return e.hash
 	}
 	h := c.Hash()
-	lastCalHash.Store(&calHashEntry{cal: c, hash: h})
+	// The memo entry is one allocation per calibration *change*, not per
+	// probe; the steady state (one calibration per report) takes the
+	// equality hit above and allocates nothing.
+	lastCalHash.Store(&calHashEntry{cal: c, hash: h}) //simlint:allow hotalloc one alloc per calibration change, not per probe; the hit path above is alloc-free
 	return h
 }
 
@@ -90,6 +99,7 @@ const (
 
 func newFP() hashFP { return fnvOffset64 }
 
+//simlint:hotpath
 func (f hashFP) word(v uint64) hashFP {
 	h := uint64(f)
 	for i := 0; i < 8; i++ {
@@ -100,8 +110,10 @@ func (f hashFP) word(v uint64) hashFP {
 	return hashFP(h)
 }
 
+//simlint:hotpath
 func (f hashFP) float(v float64) hashFP { return f.word(math.Float64bits(v)) }
 
+//simlint:hotpath
 func (f hashFP) str(s string) hashFP {
 	f = f.word(uint64(len(s)))
 	h := uint64(f)
@@ -112,6 +124,7 @@ func (f hashFP) str(s string) hashFP {
 	return hashFP(h)
 }
 
+//simlint:hotpath
 func (f hashFP) flag(b bool) hashFP {
 	if b {
 		return f.word(1)
@@ -122,6 +135,8 @@ func (f hashFP) flag(b bool) hashFP {
 // specFP fingerprints the cluster spec and file-system name, covering every
 // field the cost model reads, so two platforms that share a name but differ
 // in hardware (e.g. an ablation's no-RAM-disk variant) get distinct keys.
+//
+//simlint:hotpath
 func specFP(s cluster.Spec, fsName string) uint64 {
 	m := s.Machine
 	return uint64(newFP().
@@ -146,6 +161,8 @@ func specFP(s cluster.Spec, fsName string) uint64 {
 
 // profileFP fingerprints the application profile's model parameters, so a
 // re-tuned profile reusing a paper app's name cannot alias its results.
+//
+//simlint:hotpath
 func profileFP(p apps.Profile) uint64 {
 	return uint64(newFP().
 		word(uint64(p.Class)).
@@ -190,6 +207,8 @@ type cacheShard struct {
 // shard selects k's shard by mixing the Key's precomputed fingerprints —
 // cheap (no hashing of the strings, which the fingerprints already cover)
 // and allocation-free.
+//
+//simlint:hotpath
 func (c *Cache) shard(k Key) *cacheShard {
 	h := k.Spec ^ k.AppFP
 	h = h*fnvPrime64 ^ k.Cal

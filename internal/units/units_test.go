@@ -126,10 +126,10 @@ func TestParseBytes(t *testing.T) {
 func TestParseBytesErrors(t *testing.T) {
 	for _, in := range []string{
 		"", "GB", "12XB", "1.2.3MB", "--4KB",
-		"-3GB",                  // sizes are magnitudes: negatives are rejected
-		"-0.1KB",                //
-		"9999999999999TB",       // would overflow int64 bytes
-		"9223372036854775807",   // max int64: its float64 rounding is 2^63
+		"-3GB",                 // sizes are magnitudes: negatives are rejected
+		"-0.1KB",               //
+		"9999999999999TB",      // would overflow int64 bytes
+		"9223372036854775807",  // max int64: its float64 rounding is 2^63
 		"9223372036854775296B", // just under 2^63 but inside the round-trip headroom
 	} {
 		if _, err := ParseBytes(in); err == nil {
