@@ -19,7 +19,7 @@ NS_TOL ?= 300
 BENCH_GATE = BenchmarkFig10 BenchmarkTraceReplay BenchmarkResilienceReport \
 	BenchmarkReplayReuse/fresh BenchmarkReplayReuse/pooled BenchmarkEngineRaw
 
-.PHONY: all build test race vet lint resilience bench-smoke bench-json bench-check golden check
+.PHONY: all build test race vet lint resilience chaos bench-smoke bench-json bench-check golden check
 
 all: check
 
@@ -98,8 +98,16 @@ bench-check:
 	$(GO) run ./cmd/benchjson -diff -ns-tol $(NS_TOL) -alloc-tol 0 $(BENCH_BASELINE) bench-check.json $(BENCH_GATE)
 	@rm -f bench-check.json
 
+# Seeded chaos-search smoke: a 64-round campaign of randomized fault
+# schedules replayed with the invariant layer attached, plus the self-test
+# that the campaign catches (and minimizes) the deliberately seeded
+# silent-map-loss defect. Deterministic per seed — see DESIGN.md §13.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/
+	$(GO) run ./cmd/chaoshunt -seed 1 -rounds 64 -budget events=5e7,simtime=720h
+
 # Refresh the golden figure snapshots after an intentional model change.
 golden:
 	$(GO) test ./internal/figures -run TestGolden -update
 
-check: build vet lint test race resilience bench-smoke
+check: build vet lint test race resilience chaos bench-smoke

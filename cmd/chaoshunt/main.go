@@ -1,0 +1,114 @@
+// Command chaoshunt searches the fault space for invariant violations.
+//
+// It generates seeded random fault schedules, replays each through the
+// failure-aware hybrid (twice — the determinism check), the static hybrid
+// and the THadoop FIFO baseline with the mapreduce invariant layer attached,
+// and delta-debugs every finding down to a minimal repro spec that
+// `hybridsim -faults <spec>` reproduces verbatim:
+//
+//	chaoshunt -seed 1 -rounds 256
+//	chaoshunt -seed 1 -rounds 64 -json findings.json
+//	chaoshunt -rounds 32 -budget events=5e7,simtime=240h -minimize=false
+//
+// The search is deterministic: the same flags produce byte-identical output
+// (and byte-identical -json files), so CI can diff two runs. Exit status is
+// 0 for a clean campaign, 1 when findings surfaced, 2 for usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hybridmr/internal/chaos"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/sweep"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "campaign seed; same seed, same findings")
+		rounds    = flag.Int("rounds", 64, "fault schedules to search")
+		jobs      = flag.Int("jobs", 120, "jobs in the replayed workload trace")
+		traceSeed = flag.Int64("trace-seed", 2009, "workload trace seed")
+		horizon   = flag.Duration("horizon", time.Hour, "fault-injection window")
+		maxEvents = flag.Int("max-events", 12, "cap on events per generated schedule")
+		budgetStr = flag.String("budget", "events=5e7,simtime=720h", "per-replay watchdog budget (events=N,simtime=D)")
+		minimize  = flag.Bool("minimize", true, "delta-debug findings to minimal repro specs")
+		minBudget = flag.Int("minimize-budget", 200, "candidate replays per minimization")
+		parallel  = flag.Int("parallel", 0, "round fan-out workers (0 = all cores)")
+		jsonOut   = flag.String("json", "", "write the findings report as JSON to this file ('-' for stdout)")
+		injectBug = flag.Bool("inject-bug", false, "enable the seeded silent-map-loss defect (self-test: the campaign must catch it)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "chaoshunt: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	budget, err := sweep.ParseBudget(*budgetStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaoshunt: -budget: %v\n", err)
+		os.Exit(2)
+	}
+	if *injectBug {
+		defer mapreduce.EnableSilentMapLossBug()()
+	}
+
+	rep, err := chaos.Run(chaos.Config{
+		Seed:           *seed,
+		Rounds:         *rounds,
+		Jobs:           *jobs,
+		TraceSeed:      *traceSeed,
+		Horizon:        *horizon,
+		MaxEvents:      *maxEvents,
+		Budget:         budget,
+		Minimize:       *minimize,
+		MinimizeBudget: *minBudget,
+		Workers:        *parallel,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaoshunt: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaoshunt: %v\n", err)
+			os.Exit(2)
+		}
+		b = append(b, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*jsonOut, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "chaoshunt: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("chaoshunt: seed %d, %d rounds over %d jobs: %d clean, %d rejected, %d finding(s)\n",
+		rep.Seed, rep.Rounds, rep.Jobs, rep.Clean, rep.Rejected, len(rep.Findings))
+	for _, f := range rep.Findings {
+		fmt.Printf("\nround %d  %s  %s\n  %s\n  schedule (%d events): %s\n",
+			f.Round, f.Replay, f.Invariant, f.Detail, f.Events, orClean(f.Spec))
+		if f.MinSpec != "" || f.MinReplays > 0 {
+			fmt.Printf("  minimal repro (%d events, %d replays): hybridsim -jobs %d -faults '%s'\n",
+				f.MinEvents, f.MinReplays, rep.Jobs, f.MinSpec)
+		}
+	}
+	if len(rep.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// orClean renders an empty spec readably — a finding on an empty schedule
+// means the clean replay itself violated an invariant.
+func orClean(spec string) string {
+	if spec == "" {
+		return "(clean replay)"
+	}
+	return spec
+}

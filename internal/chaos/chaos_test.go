@@ -1,0 +1,231 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"hybridmr/internal/core"
+	"hybridmr/internal/faults"
+	"hybridmr/internal/mapreduce"
+	"hybridmr/internal/obs"
+	"hybridmr/internal/workload"
+)
+
+// TestGeneratorValidAndDeterministic draws schedules across seeds and checks
+// every one validates, respects the event cap, stays inside the horizon, and
+// that the same seed reproduces the same schedule.
+func TestGeneratorValidAndDeterministic(t *testing.T) {
+	const horizon = time.Hour
+	nonEmpty := 0
+	for seed := int64(0); seed < 200; seed++ {
+		a := NewGenerator(seed, horizon, 12).Next()
+		b := NewGenerator(seed, horizon, 12).Next()
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("seed %d: two generators disagree: %q vs %q", seed, a.Spec(), b.Spec())
+		}
+		if a.Empty() {
+			continue
+		}
+		nonEmpty++
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid schedule %q: %v", seed, a.Spec(), err)
+		}
+		if len(a.Events) > 12 {
+			t.Fatalf("seed %d: %d events exceeds cap", seed, len(a.Events))
+		}
+		for _, e := range a.Events {
+			if e.At < 0 || e.At > 2*horizon {
+				t.Fatalf("seed %d: event %v far outside horizon", seed, e)
+			}
+		}
+		// The minimal-repro contract: every generated schedule's spec
+		// round-trips through the parser.
+		re, err := faults.ParseSchedule(a.Spec())
+		if err != nil {
+			t.Fatalf("seed %d: spec %q does not reparse: %v", seed, a.Spec(), err)
+		}
+		if re.Fingerprint() != a.Fingerprint() {
+			t.Fatalf("seed %d: spec %q round trip changed the schedule", seed, a.Spec())
+		}
+	}
+	if nonEmpty < 150 {
+		t.Fatalf("only %d/200 seeds produced events; generator is rejecting too much", nonEmpty)
+	}
+}
+
+// TestMinimizeShrinksToCulprit minimizes against a structural predicate —
+// the "finding" needs a ≥2-machine scale-out crash — and expects the noise
+// (gray windows, storage loss, the recovery) to be stripped away.
+func TestMinimizeShrinksToCulprit(t *testing.T) {
+	s, err := faults.NewSchedule([]faults.Event{
+		{At: 5 * time.Minute, Kind: faults.CPUSlow, Cluster: faults.ClusterUp, Count: 1, Factor: 2},
+		{At: 25 * time.Minute, Kind: faults.CPUOk, Cluster: faults.ClusterUp, Count: 1},
+		{At: 11*time.Minute + 17*time.Second, Kind: faults.MachineCrash, Cluster: faults.ClusterOut, Count: 4},
+		{At: 41 * time.Minute, Kind: faults.MachineRecover, Cluster: faults.ClusterOut, Count: 4},
+		{At: 13 * time.Minute, Kind: faults.OFSServerDown, Cluster: faults.ClusterAll, Count: 3},
+		{At: 50 * time.Minute, Kind: faults.OFSServerUp, Cluster: faults.ClusterAll, Count: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := func(cand *faults.Schedule) bool {
+		for _, e := range cand.Events {
+			if e.Kind == faults.MachineCrash && e.Cluster == faults.ClusterOut && e.Count >= 2 {
+				return true
+			}
+		}
+		return false
+	}
+	res := Minimize(s, fails, 200)
+	if !fails(res.Schedule) {
+		t.Fatalf("minimized schedule %q no longer fails", res.Schedule.Spec())
+	}
+	if len(res.Schedule.Events) > 1 {
+		t.Errorf("want a single-event repro, got %d: %q", len(res.Schedule.Events), res.Schedule.Spec())
+	}
+	if got := res.Schedule.Events[0].Count; got != 2 {
+		t.Errorf("count not shrunk to the predicate's floor: got %d", got)
+	}
+	if res.Replays > 200 {
+		t.Errorf("minimizer overspent its budget: %d replays", res.Replays)
+	}
+	if len(s.Events) != 6 {
+		t.Error("input schedule was mutated")
+	}
+	for _, e := range s.Events {
+		if e.Kind == faults.MachineCrash && e.Count != 4 {
+			t.Error("input schedule's crash count was mutated")
+		}
+	}
+}
+
+// smallCampaign is the shared test configuration: small enough to run under
+// -race in seconds, large enough that several rounds carry crash events.
+func smallCampaign() Config {
+	return Config{Seed: 1, Rounds: 10, Jobs: 30, Workers: 4}
+}
+
+// TestCampaignDeterministic runs the same campaign twice and requires
+// byte-identical JSON reports — the property CI's chaos-smoke job diffs.
+func TestCampaignDeterministic(t *testing.T) {
+	var reps [2][]byte
+	for i := range reps {
+		rep, err := Run(smallCampaign())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = b
+	}
+	if string(reps[0]) != string(reps[1]) {
+		t.Fatalf("two runs of the same campaign diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", reps[0], reps[1])
+	}
+}
+
+// TestCampaignCleanOnHealthySimulator expects zero findings from a healthy
+// build: every invariant the campaign checks is supposed to hold on main.
+func TestCampaignCleanOnHealthySimulator(t *testing.T) {
+	cfg := smallCampaign()
+	cfg.Obs = obs.Set{Metrics: obs.NewRegistry()}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) > 0 {
+		t.Fatalf("healthy simulator produced findings: %+v", rep.Findings)
+	}
+	if rep.Clean == 0 {
+		t.Fatal("no clean rounds recorded")
+	}
+}
+
+// TestCampaignCatchesSilentMapLoss is the end-to-end acceptance test: with
+// the deliberately seeded scheduler bug enabled (completed map output lost
+// in a crash is silently dropped instead of re-executed), a seeded campaign
+// must surface a map-output-ledger violation and minimize it to a repro of
+// at most 4 events whose spec string reproduces the violation verbatim on a
+// direct replay — the hybridsim -faults contract.
+func TestCampaignCatchesSilentMapLoss(t *testing.T) {
+	defer mapreduce.EnableSilentMapLossBug()()
+
+	cfg := Config{Seed: 1, Rounds: 16, Jobs: 60, Minimize: true, MinimizeBudget: 120, Workers: 4}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Invariant == "map-output-ledger" {
+			hit = &rep.Findings[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("campaign missed the seeded bug; findings: %+v", rep.Findings)
+	}
+	if hit.MinSpec == "" {
+		t.Fatalf("finding was not minimized: %+v", hit)
+	}
+	if hit.MinEvents > 4 {
+		t.Errorf("minimal repro has %d events, want ≤ 4: %q", hit.MinEvents, hit.MinSpec)
+	}
+
+	// The repro spec must reproduce through the public replay path exactly
+	// as hybridsim -faults would drive it.
+	sched, err := faults.ParseSchedule(hit.MinSpec)
+	if err != nil {
+		t.Fatalf("minimal spec %q does not parse: %v", hit.MinSpec, err)
+	}
+	cal := mapreduce.DefaultCalibration()
+	hybrid, err := core.NewHybrid(cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.Generate(traceConfig(cfg.Jobs, 2009, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := mapreduce.NewInvariantChecker()
+	fa := hit.Replay == ReplayHybridFA
+	if _, err := hybrid.RunFaulted(jobs, core.FaultRun{
+		Schedule:        sched,
+		FailureAware:    fa,
+		Blacklist:       fa,
+		CloneStragglers: fa,
+		Invariants:      inv,
+	}); err != nil {
+		t.Fatalf("direct replay of %q rejected: %v", hit.MinSpec, err)
+	}
+	found := false
+	for _, v := range inv.Violations() {
+		if v.Invariant == "map-output-ledger" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("direct replay of minimal spec %q did not reproduce the violation (violations: %v)",
+			hit.MinSpec, inv.Violations())
+	}
+}
+
+// TestReduceFoldsViolations pins the finding reduction: budget errors beat
+// checker state, violations collapse to the first with a count.
+func TestReduceFoldsViolations(t *testing.T) {
+	inv := mapreduce.NewInvariantChecker()
+	if f := reduce(inv, nil); f != nil {
+		t.Fatalf("clean checker produced finding %+v", f)
+	}
+	inv.Violate("slot-balance", "free %d over cap %d", 9, 8)
+	inv.Violate("quiescence", "1 job still running")
+	f := reduce(inv, nil)
+	if f == nil || f.Invariant != "slot-balance" {
+		t.Fatalf("want first violation, got %+v", f)
+	}
+	if want := "free 9 over cap 8 (+1 more)"; f.Detail != want {
+		t.Errorf("detail = %q, want %q", f.Detail, want)
+	}
+}

@@ -1,0 +1,267 @@
+// Package chaos is the fault-space search engine: it generates seeded random
+// fault schedules (crash, gray-degradation and storage-loss mixes, biased
+// toward window edges and schedule-merge boundaries), replays each through
+// the hybrid and baseline replay paths with the mapreduce invariant layer
+// attached, and delta-debugs any violating schedule down to a minimal repro
+// spec that `hybridsim -faults` reproduces verbatim. Everything is
+// deterministic per seed: the same campaign configuration produces
+// byte-identical findings, so CI can diff two runs.
+package chaos
+
+import (
+	"time"
+
+	"hybridmr/internal/faults"
+	"hybridmr/internal/stats"
+)
+
+// Cluster populations the generator must keep survivable. They mirror the
+// paper's deployment (and the mtbf parser's constants): 2 scale-up machines,
+// 12 scale-out, a 24-machine baseline pool replaying every event, 32 OFS
+// servers and 24 datanodes. A schedule is survivable when no replay target
+// is ever left with zero machines and the storage losses keep the degraded
+// platform constructible; the caps on storage are conservative (the
+// simulator's dry run is the authority), so a generated schedule is almost
+// never rejected at schedule time.
+const (
+	upMachines   = 2
+	outMachines  = 12
+	baseMachines = 24
+	maxOFSDown   = 8
+	maxDNDown    = 6
+)
+
+// Generator draws random valid fault schedules from a seeded RNG. Times are
+// biased toward "interesting" instants — the horizon's edges and quarters,
+// and the edges of windows already placed, where schedule-merge boundaries
+// and window transitions live — because off-by-one scheduling bugs cluster
+// at transitions, not in the middle of quiet intervals. Not safe for
+// concurrent use; each campaign round builds its own.
+type Generator struct {
+	rng     *stats.RNG
+	horizon time.Duration
+	maxEv   int
+
+	interesting []time.Duration
+	// openEnd tracks, per gray stream and cluster, the latest placed
+	// window end, so windows on interacting clusters stay strictly
+	// disjoint (a close and a reopen at the same instant is rejected by
+	// faults.Validate — sorting puts the opens first).
+	grayBusy map[string][]interval
+}
+
+type interval struct{ start, end time.Duration }
+
+// NewGenerator returns a generator for schedules within [0, horizon] holding
+// at most maxEvents events (pairs count as two).
+func NewGenerator(seed int64, horizon time.Duration, maxEvents int) *Generator {
+	if horizon <= 0 {
+		horizon = time.Hour
+	}
+	if maxEvents <= 0 {
+		maxEvents = 12
+	}
+	return &Generator{
+		rng:     stats.NewRNG(seed),
+		horizon: horizon,
+		maxEv:   maxEvents,
+	}
+}
+
+// jitters are the offsets applied around an interesting instant: exact hits,
+// one-tick and one-second edges on both sides, and a minute of drift.
+var jitters = []time.Duration{0, 0, time.Nanosecond, -time.Nanosecond, time.Second, -time.Second, time.Minute}
+
+// granularities are the roundings applied to uniform draws, so generated
+// times exercise both coarse (hour-aligned) and fine (nanosecond) instants.
+var granularities = []time.Duration{time.Hour, 10 * time.Minute, time.Minute, time.Second, time.Nanosecond}
+
+// pickTime draws an event instant: usually near an interesting instant,
+// otherwise uniform over the horizon at a random granularity.
+func (g *Generator) pickTime() time.Duration {
+	if len(g.interesting) > 0 && g.rng.Float64() < 0.5 {
+		at := g.interesting[g.rng.Intn(len(g.interesting))]
+		at += jitters[g.rng.Intn(len(jitters))]
+		if at < 0 {
+			at = 0
+		}
+		if at > g.horizon {
+			at = g.horizon
+		}
+		return at
+	}
+	gran := granularities[g.rng.Intn(len(granularities))]
+	at := time.Duration(g.rng.Float64() * float64(g.horizon))
+	return at.Truncate(gran)
+}
+
+// note records a placed instant as interesting for later picks.
+func (g *Generator) note(at time.Duration) {
+	g.interesting = append(g.interesting, at)
+}
+
+// grayFree reports whether [start, end] can hold a new window of the stream
+// on cluster c: it must be strictly disjoint from every placed window on an
+// interacting cluster (itself and "all"; "all" collides with everything).
+func (g *Generator) grayFree(stream, c string, start, end time.Duration) bool {
+	for _, other := range []string{faults.ClusterUp, faults.ClusterOut, faults.ClusterAll} {
+		if c != faults.ClusterAll && other != c && other != faults.ClusterAll {
+			continue
+		}
+		for _, iv := range g.grayBusy[stream+"/"+other] {
+			if start <= iv.end && iv.start <= end {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// grayClaim records a placed window.
+func (g *Generator) grayClaim(stream, c string, start, end time.Duration) {
+	if g.grayBusy == nil {
+		g.grayBusy = make(map[string][]interval)
+	}
+	g.grayBusy[stream+"/"+c] = append(g.grayBusy[stream+"/"+c], interval{start, end})
+}
+
+// grayMenu lists the window streams the generator draws from: the stream
+// name used for disjointness, the open/close kinds, and whether the stream
+// is cluster-wide (count pinned to 1).
+var grayMenu = []struct {
+	stream      string
+	open, close faults.Kind
+	clusterWide bool
+}{
+	{"cpu", faults.CPUSlow, faults.CPUOk, false},
+	{"disk", faults.DiskSlow, faults.DiskOk, false},
+	{"nic", faults.NICThrottle, faults.NICOk, true},
+	{"rack", faults.RackPartition, faults.RackHeal, true},
+}
+
+// Next draws one schedule. The result always passes faults.Validate and the
+// simulator's survivability dry run; a draw that cannot be made survivable
+// after a few deterministic retries yields a smaller (possibly empty)
+// schedule — an empty round is a clean-replay conservation check, not a
+// wasted one.
+func (g *Generator) Next() *faults.Schedule {
+	for retry := 0; retry < 6; retry++ {
+		events := g.draw()
+		if len(events) == 0 {
+			return &faults.Schedule{}
+		}
+		if s, err := faults.NewSchedule(events); err == nil {
+			return s
+		}
+		// The validity rules the counters above don't model (duplicate
+		// events from two identical picks, window edge collisions) are
+		// rare; redraw with the RNG advanced.
+	}
+	return &faults.Schedule{}
+}
+
+// draw produces one candidate event list.
+func (g *Generator) draw() []faults.Event {
+	g.interesting = g.interesting[:0]
+	g.note(0)
+	g.note(g.horizon)
+	g.note(g.horizon / 2)
+	g.note(g.horizon / 4)
+	clear(g.grayBusy)
+
+	// Loss counters per replay target, counted as if every loss in the
+	// schedule were outstanding at once — temporary losses included, so
+	// overlapping crash windows can never stack past a cluster's capacity.
+	// Conservative (disjoint windows would survive more), but the authority
+	// is the simulator's dry run; these caps just keep rejections rare.
+	// upDown counts crashes the scale-up half replays (clusters up and
+	// all), outDown the scale-out half's, baseDown the undivided
+	// baseline's (every event).
+	var upDown, outDown, baseDown, ofsDown, dnDown int
+	var events []faults.Event
+
+	n := 1 + g.rng.Intn(g.maxEv/2)
+	for i := 0; i < n && len(events) < g.maxEv-1; i++ {
+		at := g.pickTime()
+		hold := time.Duration(g.rng.Float64() * float64(g.horizon-at))
+		end := at + hold
+		switch p := g.rng.Float64(); {
+		case p < 0.40: // crash + (usually) recovery
+			var c string
+			var count int
+			switch g.rng.Intn(3) {
+			case 0:
+				c, count = faults.ClusterUp, 1
+			case 1:
+				c, count = faults.ClusterOut, 1+g.rng.Intn(4)
+			default:
+				c, count = faults.ClusterAll, 1
+			}
+			affectsUp := c != faults.ClusterOut
+			affectsOut := c != faults.ClusterUp
+			if affectsUp && upDown+count >= upMachines {
+				continue
+			}
+			if affectsOut && outDown+count >= outMachines {
+				continue
+			}
+			if baseDown+count >= baseMachines {
+				continue
+			}
+			events = append(events, faults.Event{At: at, Kind: faults.MachineCrash, Cluster: c, Count: count})
+			g.note(at)
+			if g.rng.Float64() >= 0.25 { // a quarter stay down for good
+				events = append(events, faults.Event{At: end, Kind: faults.MachineRecover, Cluster: c, Count: count})
+				g.note(end)
+			}
+			if affectsUp {
+				upDown += count
+			}
+			if affectsOut {
+				outDown += count
+			}
+			baseDown += count
+		case p < 0.65: // storage loss + recovery
+			if g.rng.Intn(2) == 0 {
+				count := 1 + g.rng.Intn(4)
+				if ofsDown+count > maxOFSDown {
+					continue
+				}
+				events = append(events,
+					faults.Event{At: at, Kind: faults.OFSServerDown, Cluster: faults.ClusterAll, Count: count},
+					faults.Event{At: end, Kind: faults.OFSServerUp, Cluster: faults.ClusterAll, Count: count})
+				ofsDown += count
+			} else {
+				count := 1 + g.rng.Intn(3)
+				if dnDown+count > maxDNDown {
+					continue
+				}
+				events = append(events,
+					faults.Event{At: at, Kind: faults.DatanodeDown, Cluster: faults.ClusterAll, Count: count},
+					faults.Event{At: end, Kind: faults.DatanodeUp, Cluster: faults.ClusterAll, Count: count})
+				dnDown += count
+			}
+			g.note(at)
+			g.note(end)
+		default: // gray degradation window
+			m := grayMenu[g.rng.Intn(len(grayMenu))]
+			c := [...]string{faults.ClusterUp, faults.ClusterOut, faults.ClusterAll}[g.rng.Intn(3)]
+			if !g.grayFree(m.stream, c, at, end) {
+				continue
+			}
+			count := 1
+			if !m.clusterWide {
+				// 0 means every machine; small counts hit subsets.
+				count = g.rng.Intn(4)
+			}
+			factor := g.rng.LogUniform(1.1, 4)
+			events = append(events,
+				faults.Event{At: at, Kind: m.open, Cluster: c, Count: count, Factor: factor},
+				faults.Event{At: end, Kind: m.close, Cluster: c, Count: count})
+			g.grayClaim(m.stream, c, at, end)
+			g.note(at)
+			g.note(end)
+		}
+	}
+	return events
+}

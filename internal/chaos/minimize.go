@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"time"
+
+	"hybridmr/internal/faults"
+)
+
+// This file is the delta-debugger: given a schedule that provoked a finding
+// and a predicate that replays a candidate schedule and reports whether the
+// same finding recurs, it greedily shrinks the schedule — drop events, halve
+// windows, shrink counts, round times — to a local minimum. Each accepted
+// mutation strictly simplifies the schedule and each candidate costs one
+// replay, so the search terminates; the replay cap bounds the worst case.
+
+// MinimizeResult reports one minimization.
+type MinimizeResult struct {
+	// Schedule is the minimal schedule still provoking the finding.
+	Schedule *faults.Schedule
+	// Replays is how many candidate replays the search spent.
+	Replays int
+}
+
+// minimizer carries the search state.
+type minimizer struct {
+	stillFails func(*faults.Schedule) bool
+	budget     int
+	replays    int
+}
+
+// Minimize shrinks schedule to a local minimum under stillFails, which must
+// replay a candidate and report whether the original finding recurs (same
+// replay path, same invariant). maxReplays caps the candidate replays spent
+// (≤ 0 means 200); the input schedule itself is never mutated.
+func Minimize(s *faults.Schedule, stillFails func(*faults.Schedule) bool, maxReplays int) MinimizeResult {
+	if maxReplays <= 0 {
+		maxReplays = 200
+	}
+	m := &minimizer{stillFails: stillFails, budget: maxReplays}
+	cur := s
+	for {
+		next, improved := m.pass(cur)
+		if !improved || m.replays >= m.budget {
+			return MinimizeResult{Schedule: next, Replays: m.replays}
+		}
+		cur = next
+	}
+}
+
+// try builds a candidate from the events and replays it if it validates;
+// invalid candidates (a drop that orphans a recovery, a rounding that
+// collides two windows) are skipped for free.
+func (m *minimizer) try(events []faults.Event) (*faults.Schedule, bool) {
+	if m.replays >= m.budget {
+		return nil, false
+	}
+	cand, err := faults.NewSchedule(events)
+	if err != nil {
+		return nil, false
+	}
+	m.replays++
+	if m.stillFails(cand) {
+		return cand, true
+	}
+	return nil, false
+}
+
+// pass runs every mutation family once over the schedule and returns the
+// simplified schedule plus whether anything was accepted.
+func (m *minimizer) pass(s *faults.Schedule) (*faults.Schedule, bool) {
+	improved := false
+	for _, step := range []func(*faults.Schedule) (*faults.Schedule, bool){
+		m.dropEvents, m.shrinkCounts, m.halveWindows, m.roundTimes,
+	} {
+		if next, ok := step(s); ok {
+			s, improved = next, true
+		}
+	}
+	return s, improved
+}
+
+// without returns the events minus index i.
+func without(events []faults.Event, i int) []faults.Event {
+	out := make([]faults.Event, 0, len(events)-1)
+	out = append(out, events[:i]...)
+	return append(out, events[i+1:]...)
+}
+
+// dropEvents greedily removes single events to a fixpoint. Recoveries and
+// window closers are tried first (descending index over the sorted list
+// favors them): dropping a closer keeps the schedule valid — the window just
+// runs to the end — while dropping an opener orphans its closer and the
+// candidate is skipped until the closer is gone too.
+func (m *minimizer) dropEvents(s *faults.Schedule) (*faults.Schedule, bool) {
+	improved := false
+	for {
+		dropped := false
+		for i := len(s.Events) - 1; i >= 0; i-- {
+			if cand, ok := m.try(without(s.Events, i)); ok {
+				s, dropped, improved = cand, true, true
+				break
+			}
+		}
+		if !dropped || len(s.Events) == 0 {
+			return s, improved
+		}
+	}
+}
+
+// matchingRecovery finds the paired loss-recovery (or open-close) event for
+// index i: the first later event on the same cluster whose kind closes it
+// with the same count. -1 when none.
+func matchingRecovery(events []faults.Event, i int) int {
+	e := events[i]
+	var want faults.Kind
+	switch e.Kind {
+	case faults.MachineCrash:
+		want = faults.MachineRecover
+	case faults.OFSServerDown:
+		want = faults.OFSServerUp
+	case faults.DatanodeDown:
+		want = faults.DatanodeUp
+	case faults.CPUSlow:
+		want = faults.CPUOk
+	case faults.DiskSlow:
+		want = faults.DiskOk
+	case faults.NICThrottle:
+		want = faults.NICOk
+	case faults.RackPartition:
+		want = faults.RackHeal
+	default:
+		return -1
+	}
+	for j := i + 1; j < len(events); j++ {
+		if events[j].Kind == want && events[j].Cluster == e.Cluster && events[j].Count == e.Count {
+			return j
+		}
+	}
+	return -1
+}
+
+// shrinkCounts reduces multi-machine events toward count 1: first straight
+// to 1, then halving. A loss's matching recovery shrinks with it, so the
+// candidate stays balanced.
+func (m *minimizer) shrinkCounts(s *faults.Schedule) (*faults.Schedule, bool) {
+	improved := false
+	for {
+		shrunk := false
+		for i, e := range s.Events {
+			if e.Count <= 1 || e.Kind.IsRecovery() {
+				continue
+			}
+			tries := []int{1}
+			if e.Count/2 > 1 {
+				tries = append(tries, e.Count/2)
+			}
+			for _, to := range tries {
+				cand := append([]faults.Event(nil), s.Events...)
+				if j := matchingRecovery(cand, i); j >= 0 {
+					cand[j].Count = to
+				}
+				cand[i].Count = to
+				if next, ok := m.try(cand); ok {
+					s, shrunk, improved = next, true, true
+					break
+				}
+			}
+			if shrunk {
+				break
+			}
+		}
+		if !shrunk {
+			return s, improved
+		}
+	}
+}
+
+// halveWindows pulls each recovery or window-close toward its opener,
+// halving the window, to a fixpoint per event.
+func (m *minimizer) halveWindows(s *faults.Schedule) (*faults.Schedule, bool) {
+	improved := false
+	for {
+		halved := false
+		for i, e := range s.Events {
+			if e.Kind.IsRecovery() {
+				continue
+			}
+			j := matchingRecovery(s.Events, i)
+			if j < 0 || s.Events[j].At <= e.At {
+				continue
+			}
+			cand := append([]faults.Event(nil), s.Events...)
+			cand[j].At = e.At + (cand[j].At-e.At)/2
+			if next, ok := m.try(cand); ok {
+				s, halved, improved = next, true, true
+				break
+			}
+		}
+		if !halved {
+			return s, improved
+		}
+	}
+}
+
+// roundGrains are the time roundings tried coarse-to-fine: a repro at
+// "1h" reads better than one at "58m21.94s".
+var roundGrains = []time.Duration{time.Hour, 30 * time.Minute, 10 * time.Minute, time.Minute, time.Second}
+
+// roundTimes truncates event times to the coarsest granularity that keeps
+// the finding, one event at a time.
+func (m *minimizer) roundTimes(s *faults.Schedule) (*faults.Schedule, bool) {
+	improved := false
+	for i := range s.Events {
+		e := s.Events[i]
+		for _, grain := range roundGrains {
+			at := e.At.Truncate(grain)
+			if at == e.At {
+				break // already at least this coarse
+			}
+			cand := append([]faults.Event(nil), s.Events...)
+			cand[i].At = at
+			if next, ok := m.try(cand); ok {
+				s, improved = next, true
+				break
+			}
+		}
+	}
+	return s, improved
+}

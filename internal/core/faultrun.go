@@ -102,6 +102,13 @@ type FaultRun struct {
 	// record per routing decision (including retries). The zero Set observes
 	// nothing and keeps the replay's hot path allocation-free.
 	Obs obs.Set
+	// Invariants, when non-nil, attaches the invariant layer to both halves'
+	// simulators and extends it with the hybrid-level contracts: workload
+	// conservation (one JobResult per job), the job-attempt bound, the
+	// blacklist parole cap, and quiescence at drain. The chaos engine
+	// (internal/chaos) replays every campaign round with one attached; nil
+	// costs nothing.
+	Invariants *mapreduce.InvariantChecker
 }
 
 func (opt *FaultRun) defaults() (int, time.Duration, *sweep.Runner) {
@@ -189,6 +196,10 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 	outSim.SetPolicy(h.Policy)
 	upSim.SetObserver(opt.Obs.Trace, opt.Obs.Metrics)
 	outSim.SetObserver(opt.Obs.Trace, opt.Obs.Metrics)
+	if opt.Invariants != nil {
+		upSim.SetInvariants(opt.Invariants)
+		outSim.SetInvariants(opt.Invariants)
+	}
 	if err := opt.Inject.Apply(upSim); err != nil {
 		return nil, err
 	}
@@ -310,6 +321,10 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 			b.strikes++
 			if b.strikes >= strikesCap {
 				b.bench(now, parole)
+				if opt.Invariants != nil && b.until-now > parole<<3 {
+					opt.Invariants.Violate("blacklist-parole", "%s benched until %v at %v: bench exceeds the 8x parole cap (%v)",
+						st.dest, b.until, now, parole<<3)
+				}
 				if opt.Obs.Trace.Enabled() {
 					opt.Obs.Trace.Instant("hybrid", "blacklist", "bench", now,
 						st.dest.String()+" benched until "+b.until.String())
@@ -343,6 +358,19 @@ func (h *Hybrid) RunFaulted(jobs []workload.Job, opt FaultRun) ([]JobResult, err
 	eng.Run()
 	if opt.Stats != nil {
 		opt.Stats.Events = eng.Events()
+	}
+	if inv := opt.Invariants; inv != nil {
+		upSim.CheckDrainedInvariants()
+		outSim.CheckDrainedInvariants()
+		if len(results) != len(jobs) {
+			inv.Violate("job-conservation", "hybrid: %d jobs submitted, %d results", len(jobs), len(results))
+		}
+		for i := range results {
+			if a := results[i].Attempts; a < 1 || a > maxAttempts {
+				inv.Violate("task-attempts", "hybrid: job %s finished with %d attempts, budget [1,%d]",
+					results[i].Job.ID, a, maxAttempts)
+			}
+		}
 	}
 
 	sort.Slice(results, func(i, j int) bool {
@@ -435,6 +463,14 @@ func RunBaselineFaultedStats(p *mapreduce.Platform, jobs []workload.Job, policy 
 // callers convert into a typed per-point error via sweep.Protect. The zero
 // budget runs unguarded.
 func RunBaselineGuarded(p *mapreduce.Platform, jobs []workload.Job, policy mapreduce.Policy, events []faults.Event, inj Inject, stats *ReplayStats, budget sweep.Budget) ([]mapreduce.Result, error) {
+	return RunBaselineChecked(p, jobs, policy, events, inj, stats, budget, nil)
+}
+
+// RunBaselineChecked is RunBaselineGuarded with the invariant layer attached:
+// a non-nil checker observes the whole replay and the drain. The fifo_crash
+// golden test and the chaos engine's baseline rounds run through it; a nil
+// checker reproduces RunBaselineGuarded exactly.
+func RunBaselineChecked(p *mapreduce.Platform, jobs []workload.Job, policy mapreduce.Policy, events []faults.Event, inj Inject, stats *ReplayStats, budget sweep.Budget, inv *mapreduce.InvariantChecker) ([]mapreduce.Result, error) {
 	rst := mapreduce.AcquireState()
 	defer mapreduce.ReleaseState(rst)
 	sim := rst.Simulator(p)
@@ -442,6 +478,9 @@ func RunBaselineGuarded(p *mapreduce.Platform, jobs []workload.Job, policy mapre
 		sim.Engine().SetWatchdog(w)
 	}
 	sim.SetPolicy(policy)
+	if inv != nil {
+		sim.SetInvariants(inv)
+	}
 	if err := inj.Apply(sim); err != nil {
 		return nil, err
 	}
@@ -454,6 +493,12 @@ func RunBaselineGuarded(p *mapreduce.Platform, jobs []workload.Job, policy mapre
 	// Copy the results out: the deferred release resets the simulator's
 	// internal buffer, which sim.Run returns a view of.
 	run := sim.Run()
+	if inv != nil {
+		sim.CheckDrainedInvariants()
+		if len(run) != len(jobs) {
+			inv.Violate("job-conservation", "%s: %d jobs submitted, %d results", p.Name, len(jobs), len(run))
+		}
+	}
 	rs := make([]mapreduce.Result, len(run))
 	copy(rs, run)
 	if stats != nil {

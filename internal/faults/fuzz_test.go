@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseSchedule checks the parse/render round trip over arbitrary spec
+// strings: whenever ParseSchedule accepts a spec, the parsed schedule must
+// re-render through Spec() into a spec that parses again, fingerprints
+// identically, and renders to the same canonical string — the contract the
+// chaos engine's minimal repros rely on (a finding's spec must reproduce the
+// exact replay when pasted into hybridsim -faults). The committed corpus
+// under testdata/fuzz seeds the search with every spec form used in tests
+// and docs.
+func FuzzParseSchedule(f *testing.F) {
+	for _, spec := range []string{
+		"demo",
+		"gray-demo",
+		"up:crash@30m;up:recover@10h;all:ofs-down@2hx4",
+		"up:crash@30m; up:recover@10h; all:ofs-down@2hx4; all:ofs-up@5hx4",
+		"all:ofs-down@2hx4;all:ofs-up@5hx4;rerepl:1.5@45m",
+		"up:cpu-slow@1hx1*2.0;up:cpu-ok@6h",
+		"up:cpu-slow@1hx1*2.0; up:cpu-ok@6h; out:disk-slow@90mx3*1.8; out:disk-ok@7hx3;",
+		"all:nic-slow@3h*1.5; all:nic-ok@4h; out:rack-part@8h*3.0; out:rack-heal@8h45m",
+		"out:crash@4mx3;out:recover@30m",
+		"up:disk-slow@1hx0*2;up:disk-ok@2hx0",
+		"mtbf:up=6h,out=24h,mttr=45m,until=24h,seed=7",
+		"mtbf:ofs=12h",
+		"up:crash@30mx0",
+		"up:recover@1h",
+		"rerepl:2@1h",
+		"up:crash@soon",
+		"all:nic-slow@1hx2*2",
+		"up:ofs-down@1h;up:ofs-up@2h",
+		"out:crash@1ns;out:recover@2ns",
+		"up:cpu-slow@1h30m0.5sx2*1.25;up:cpu-ok@2hx2",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			return // rejected specs only need to not crash
+		}
+		if s.Empty() {
+			// Only the mtbf generator form may accept a spec and produce
+			// no events (no failures drawn in the window); the explicit
+			// forms reject empty event lists.
+			if len(spec) < 5 || spec[:5] != "mtbf:" {
+				t.Fatalf("spec %q parsed to an empty schedule", spec)
+			}
+			return
+		}
+		round := s.Spec()
+		s2, err := ParseSchedule(round)
+		if err != nil {
+			t.Fatalf("spec %q: re-rendered spec %q does not parse: %v", spec, round, err)
+		}
+		if got, want := s2.Fingerprint(), s.Fingerprint(); got != want {
+			t.Fatalf("spec %q: round trip changed fingerprint %#x -> %#x (re-rendered %q)", spec, want, got, round)
+		}
+		if again := s2.Spec(); again != round {
+			t.Fatalf("spec %q: canonical form not a fixed point: %q -> %q", spec, round, again)
+		}
+		if err := s2.Validate(); err != nil {
+			t.Fatalf("spec %q: reparsed schedule invalid: %v", spec, err)
+		}
+	})
+}
+
+// TestSpecRoundTripsDemos pins the round trip on the two built-in scenarios
+// without needing the fuzz engine.
+func TestSpecRoundTripsDemos(t *testing.T) {
+	for _, s := range []*Schedule{Demo(), GrayDemo()} {
+		re, err := ParseSchedule(s.Spec())
+		if err != nil {
+			t.Fatalf("spec %q: %v", s.Spec(), err)
+		}
+		if re.Fingerprint() != s.Fingerprint() {
+			t.Errorf("spec %q: fingerprint changed on round trip", s.Spec())
+		}
+	}
+	var nilSched *Schedule
+	if nilSched.Spec() != "" || (&Schedule{}).Spec() != "" {
+		t.Error("empty schedules should render as the empty spec")
+	}
+}
+
+// TestValidateZeroDurationWindows tables the degenerate gray windows: an
+// open and close at the same instant is a valid zero-duration window (start
+// kinds sort before end kinds), while closing and reopening a stream at one
+// instant is rejected — sorting puts both opens before the close, so the
+// second open overlaps the first.
+func TestValidateZeroDurationWindows(t *testing.T) {
+	at := 2 * time.Hour
+	cases := []struct {
+		name   string
+		events []Event
+		ok     bool
+	}{
+		{
+			name: "zero-duration window is valid",
+			events: []Event{
+				{At: at, Kind: CPUSlow, Cluster: ClusterUp, Count: 1, Factor: 2},
+				{At: at, Kind: CPUOk, Cluster: ClusterUp, Count: 1},
+			},
+			ok: true,
+		},
+		{
+			name: "close-then-reopen at one instant is rejected",
+			events: []Event{
+				{At: at - time.Hour, Kind: DiskSlow, Cluster: ClusterOut, Count: 2, Factor: 1.5},
+				{At: at, Kind: DiskOk, Cluster: ClusterOut, Count: 2},
+				{At: at, Kind: DiskSlow, Cluster: ClusterOut, Count: 2, Factor: 3},
+			},
+			ok: false,
+		},
+		{
+			name: "zero-duration window cannot nest inside an open one",
+			events: []Event{
+				{At: at - time.Hour, Kind: NICThrottle, Cluster: ClusterAll, Count: 1, Factor: 1.5},
+				{At: at, Kind: NICThrottle, Cluster: ClusterOut, Count: 1, Factor: 2},
+				{At: at, Kind: NICOk, Cluster: ClusterOut, Count: 1},
+				{At: at + time.Hour, Kind: NICOk, Cluster: ClusterAll, Count: 1},
+			},
+			ok: false,
+		},
+	}
+	for _, tc := range cases {
+		_, err := NewSchedule(tc.events)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}

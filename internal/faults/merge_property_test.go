@@ -1,0 +1,114 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hybridmr/internal/stats"
+)
+
+// genSchedule builds a random valid schedule from a seeded RNG. Every event
+// pair is placed on a strictly advancing timeline starting at base, so
+// windows never overlap, recoveries always follow their losses, and no two
+// events are exact duplicates — valid by construction, with the mix (crash,
+// storage, gray window) and all times, counts and factors drawn from the RNG.
+func genSchedule(r *stats.RNG, base time.Duration) *Schedule {
+	clusters := []string{ClusterUp, ClusterOut, ClusterAll}
+	n := 1 + r.Intn(4)
+	var events []Event
+	at := base
+	for i := 0; i < n; i++ {
+		at += time.Duration(1+r.Intn(900)) * time.Second
+		hold := time.Duration(1+r.Intn(600)) * time.Second
+		c := clusters[r.Intn(len(clusters))]
+		switch r.Intn(3) {
+		case 0:
+			k := 1 + r.Intn(2)
+			events = append(events,
+				Event{At: at, Kind: MachineCrash, Cluster: c, Count: k},
+				Event{At: at + hold, Kind: MachineRecover, Cluster: c, Count: k})
+		case 1:
+			k := 1 + r.Intn(4)
+			events = append(events,
+				Event{At: at, Kind: OFSServerDown, Cluster: ClusterAll, Count: k},
+				Event{At: at + hold, Kind: OFSServerUp, Cluster: ClusterAll, Count: k})
+		default:
+			f := 1 + r.Float64()*3
+			events = append(events,
+				Event{At: at, Kind: CPUSlow, Cluster: c, Count: 1, Factor: f},
+				Event{At: at + hold, Kind: CPUOk, Cluster: c, Count: 1})
+		}
+		at += hold + time.Second
+	}
+	s, err := NewSchedule(events)
+	if err != nil {
+		panic(err) // valid by construction
+	}
+	return s
+}
+
+// TestMergeAssociativeProperty checks Merge(Merge(a,b),c) == Merge(a,Merge(b,c))
+// — same events, same fingerprint — over randomly generated schedules. The
+// three operands occupy disjoint time ranges so every merge validates (gray
+// windows of independently drawn schedules may otherwise legitimately
+// collide, which Merge rejects by design).
+func TestMergeAssociativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stats.NewRNG(seed)
+		a := genSchedule(r, 0)
+		b := genSchedule(r, 3*time.Hour)
+		c := genSchedule(r, 6*time.Hour)
+		ab, err := Merge(a, b)
+		if err != nil {
+			t.Logf("seed %d: merge(a,b): %v", seed, err)
+			return false
+		}
+		abc1, err := Merge(ab, c)
+		if err != nil {
+			t.Logf("seed %d: merge(ab,c): %v", seed, err)
+			return false
+		}
+		bc, err := Merge(b, c)
+		if err != nil {
+			t.Logf("seed %d: merge(b,c): %v", seed, err)
+			return false
+		}
+		abc2, err := Merge(a, bc)
+		if err != nil {
+			t.Logf("seed %d: merge(a,bc): %v", seed, err)
+			return false
+		}
+		return abc1.Fingerprint() == abc2.Fingerprint() &&
+			reflect.DeepEqual(abc1.Events, abc2.Events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFingerprintStableUnderReordering checks that shuffling a valid
+// schedule's events and reconstructing through NewSchedule restores the
+// identical event order and fingerprint: the sort is total and
+// content-derived, so authoring order can never leak into a replay.
+func TestFingerprintStableUnderReordering(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stats.NewRNG(seed)
+		s := genSchedule(r, 0)
+		shuffled := append([]Event(nil), s.Events...)
+		for i, j := range r.Perm(len(shuffled)) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		s2, err := NewSchedule(shuffled)
+		if err != nil {
+			t.Logf("seed %d: reshuffled schedule rejected: %v", seed, err)
+			return false
+		}
+		return s2.Fingerprint() == s.Fingerprint() &&
+			reflect.DeepEqual(s2.Events, s.Events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

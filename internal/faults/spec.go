@@ -1,0 +1,21 @@
+package faults
+
+import "strings"
+
+// Spec renders the schedule in the -faults CLI syntax: every event in its
+// sorted order, joined with ";". ParseSchedule(s.Spec()) reconstructs a
+// schedule with the same fingerprint — the round trip the chaos engine's
+// minimal repros rely on (a finding's spec string must reproduce the exact
+// replay in hybridsim). Directives that were materialized into events
+// (rerepl windows, the mtbf generator) render as their events, so the spec
+// is self-contained. An empty or nil schedule renders as "".
+func (s *Schedule) Spec() string {
+	if s.Empty() {
+		return ""
+	}
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}

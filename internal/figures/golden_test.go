@@ -50,8 +50,16 @@ func goldenArtifacts(cal mapreduce.Calibration) []struct {
 		// The faulted trace replay: the demo fault schedule over a 600-job
 		// trace, pinning the whole resilience report — event list, per-arch
 		// stats and the failure-aware-vs-static verdict — byte for byte.
+		// Invariants: true on both resilience builders attaches the assert-
+		// only checker to every replay — any contract violation fails the
+		// test outright instead of baking a broken report into the golden.
 		{"resilience", func() (string, error) {
-			r, err := RunResilience(cal, smallTraceConfig(600), faults.Demo(), core.Inject{})
+			jobs, err := workload.Generate(smallTraceConfig(600))
+			if err != nil {
+				return "", err
+			}
+			r, err := RunResilienceOpts(cal, jobs, faults.Demo(), core.Inject{}, obs.Set{}, nil,
+				ResilienceOpts{Invariants: true})
 			if err != nil {
 				return "", err
 			}
@@ -73,7 +81,7 @@ func goldenArtifacts(cal mapreduce.Calibration) []struct {
 				return "", err
 			}
 			r, err := RunResilienceOpts(cal, jobs, sched, core.Inject{FailureRate: 0.25, Seed: 11}, obs.Set{}, nil,
-				ResilienceOpts{FABlacklist: true})
+				ResilienceOpts{FABlacklist: true, Invariants: true})
 			if err != nil {
 				return "", err
 			}
@@ -109,9 +117,14 @@ func goldenArtifacts(cal mapreduce.Calibration) []struct {
 			if err != nil {
 				return "", err
 			}
-			rs, err := core.RunBaselineFaulted(p, jobs, mapreduce.FIFO, sched.ForBaseline(), core.Inject{})
+			inv := mapreduce.NewInvariantChecker()
+			rs, err := core.RunBaselineChecked(p, jobs, mapreduce.FIFO, sched.ForBaseline(), core.Inject{},
+				nil, sweep.Budget{}, inv)
 			if err != nil {
 				return "", err
+			}
+			if verr := inv.Err(); verr != nil {
+				return "", verr
 			}
 			return renderBaselineReplay("THadoop FIFO deep queue under mass crashes", rs), nil
 		}},

@@ -107,6 +107,12 @@ type ResilienceOpts struct {
 	// *sweep.PointError and the remaining replays' results stand. The zero
 	// budget runs unguarded.
 	Watchdog sweep.Budget
+	// Invariants attaches a fresh mapreduce.InvariantChecker to every
+	// replay, assert-only: a violation fails the whole experiment with the
+	// checker's error instead of rendering a report that silently breaks a
+	// simulator contract. Results and goldens are unchanged when the
+	// replays are clean — the checker only observes.
+	Invariants bool
 }
 
 // RunResilienceObserved is RunResilienceJobs with observability: the sinks in
@@ -162,12 +168,22 @@ func RunResilienceOpts(cal mapreduce.Calibration, jobs []workload.Job, sched *fa
 		}
 		return out
 	}
+	checker := func() *mapreduce.InvariantChecker {
+		if !opts.Invariants {
+			return nil
+		}
+		return mapreduce.NewInvariantChecker()
+	}
 	baseline := func(p *mapreduce.Platform) func() ([]jobOutcome, uint64, error) {
 		return func() ([]jobOutcome, uint64, error) {
 			var st core.ReplayStats
-			rs, err := core.RunBaselineGuarded(p, jobs, mapreduce.Fair, sched.ForBaseline(), inj, &st, opts.Watchdog)
+			inv := checker()
+			rs, err := core.RunBaselineChecked(p, jobs, mapreduce.Fair, sched.ForBaseline(), inj, &st, opts.Watchdog, inv)
 			if err != nil {
 				return nil, 0, err
+			}
+			if verr := inv.Err(); verr != nil {
+				return nil, 0, verr
 			}
 			return fromBaseline(rs), st.Events, nil
 		}
@@ -177,9 +193,14 @@ func RunResilienceOpts(cal mapreduce.Calibration, jobs []workload.Job, sched *fa
 			var st core.ReplayStats
 			opt.Stats = &st
 			opt.Watchdog = opts.Watchdog
+			inv := checker()
+			opt.Invariants = inv
 			rs, err := hybrid.RunFaulted(jobs, opt)
 			if err != nil {
 				return nil, 0, err
+			}
+			if verr := inv.Err(); verr != nil {
+				return nil, 0, verr
 			}
 			return fromHybrid(rs), st.Events, nil
 		}

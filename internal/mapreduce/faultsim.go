@@ -300,6 +300,9 @@ func (s *Simulator) crashMachines(k int, now time.Duration) {
 				strconv.Itoa(killedMaps)+" maps + "+strconv.Itoa(killedReds)+" reduces, lost "+
 				strconv.Itoa(lostMaps)+" map outputs")
 	}
+	if s.inv.checker != nil {
+		s.invSlots()
+	}
 	s.dispatch(now)
 }
 
@@ -374,6 +377,14 @@ func (s *Simulator) loseCompletedMaps(k, avail int) int {
 		if lost > len(run.doneMapIDs) {
 			lost = len(run.doneMapIDs)
 		}
+		if silentMapLossBug {
+			// Deliberate defect (invariants.go): drop the outputs from the
+			// ledger but forget to re-queue them — the job's bookkeeping
+			// still counts the maps done. The chaos engine's invariant layer
+			// must catch this as map-output-ledger.
+			run.doneMapIDs = run.doneMapIDs[:len(run.doneMapIDs)-lost]
+			continue
+		}
 		for i := 0; i < lost; i++ {
 			id := run.doneMapIDs[len(run.doneMapIDs)-1]
 			run.doneMapIDs = run.doneMapIDs[:len(run.doneMapIDs)-1]
@@ -402,6 +413,9 @@ func (s *Simulator) recoverMachines(k int, now time.Duration) {
 	s.capRed += k * spec.ReduceSlotsPerMachine()
 	s.freeMap += k * spec.MapSlotsPerMachine()
 	s.freeRed += k * spec.ReduceSlotsPerMachine()
+	if s.inv.checker != nil {
+		s.invSlots()
+	}
 	s.dispatch(now)
 }
 

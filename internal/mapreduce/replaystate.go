@@ -115,6 +115,7 @@ func (s *Simulator) recycle() {
 	s.cloneThreshold, s.clonesStarted, s.clonesWon = 0, 0, 0
 	s.onResult = nil
 	s.obsv = simObs{}
+	s.inv = invState{}
 }
 
 // reinit rebinds a recycled shell to an engine and platform, reproducing

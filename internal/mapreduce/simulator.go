@@ -144,6 +144,10 @@ type Simulator struct {
 	// obsv holds the observability sinks (observe.go); the zero value is
 	// inert and keeps the hot path allocation-free.
 	obsv simObs
+
+	// inv holds the invariant layer (invariants.go); the zero value is
+	// detached and the hook sites cost one nil compare.
+	inv invState
 }
 
 // NewSimulator creates an empty FIFO simulator for the platform with its
@@ -249,6 +253,9 @@ func (s *Simulator) Policy() Policy { return s.policy }
 //simlint:hotpath
 func (s *Simulator) Submit(job Job) {
 	s.running++
+	if s.inv.checker != nil {
+		s.inv.submitted++
+	}
 	if job.Submit >= s.lastQueued {
 		// Monotone arrival (the common case: traces are sorted by Submit
 		// and SubmitNow tracks the advancing clock): enqueue the job and
@@ -819,6 +826,9 @@ func (s *Simulator) dispatch(now time.Duration) {
 		s.startReduceTask(run, now)
 	}
 	s.noteSlots() // busy slots peak after the grants
+	if s.inv.checker != nil {
+		s.invSlots()
+	}
 }
 
 //simlint:hotpath
@@ -934,6 +944,10 @@ func (s *Simulator) recordFailure(run *jobRun, taskID int) bool {
 		run.attempts = make(map[int]int)
 	}
 	run.attempts[taskID]++
+	if s.inv.checker != nil && run.attempts[taskID] > s.platform.Cal.MaxTaskAttempts {
+		s.inv.checker.Violate("task-attempts", "%s: job %s task %d reached %d failed attempts, budget %d",
+			s.platform.Name, run.job.ID, taskID, run.attempts[taskID], s.platform.Cal.MaxTaskAttempts)
+	}
 	return run.attempts[taskID] < s.platform.Cal.MaxTaskAttempts
 }
 
@@ -966,6 +980,9 @@ func (s *Simulator) failJob(run *jobRun, now time.Duration, phase string) {
 
 //simlint:hotpath
 func (s *Simulator) completeJob(run *jobRun, end time.Duration) {
+	if s.inv.checker != nil {
+		s.invComplete(run, end)
+	}
 	s.traceJobDone(run, end)
 	s.touch(kMap, run)
 	s.touch(kRed, run)
@@ -993,6 +1010,9 @@ func (s *Simulator) completeJob(run *jobRun, end time.Duration) {
 //simlint:hotpath
 func (s *Simulator) finish(r Result, now time.Duration) {
 	s.running--
+	if s.inv.checker != nil {
+		s.invFinish(r, now)
+	}
 	if s.onResult != nil {
 		s.onResult(r, now)
 		return

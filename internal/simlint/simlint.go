@@ -159,6 +159,7 @@ var SimPackages = []string{
 	"hybridmr/internal/core",
 	"hybridmr/internal/figures",
 	"hybridmr/internal/obs",
+	"hybridmr/internal/chaos",
 }
 
 // IsSimPackage reports whether the import path is under the determinism
